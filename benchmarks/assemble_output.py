@@ -1,0 +1,180 @@
+"""Assemble bench_output.txt: pytest logs + figure tables from results.
+
+``pytest -q`` captures the tables the bench functions print; the
+authoritative data lives in ``benchmarks/results/*.json``.  This script
+stitches the pytest logs together and re-renders every figure's table
+from the saved JSON so the final artifact is self-contained.
+
+Usage: python benchmarks/assemble_output.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.utils.tabulate import render_table
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+RESULTS = ROOT / "benchmarks" / "results"
+LOGS = [
+    "bench_fast.log",
+    "bench_fig57.log",
+    "bench_fig7b.log",
+    "bench_fig6b.log",
+    "bench_fig8.log",
+]
+
+
+def _load(name: str):
+    path = RESULTS / f"{name}.json"
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
+def _fig4() -> str:
+    data = _load("fig4")
+    if not data:
+        return ""
+    out = []
+    for key, sub in (("sa0", "a"), ("sa1", "b")):
+        rows = [[int(r[0]), r[1] , r[2], r[3]] for r in data[key]]
+        out.append(render_table(
+            ["faults/col", "I_min (uA)", "I_mean (uA)", "I_max (uA)"],
+            rows,
+            title=f"Fig. 4({sub}): 4x4 crossbar {key.upper()} test current",
+            ndigits=3,
+        ))
+    return "\n\n".join(out)
+
+
+def _fig5() -> str:
+    data = _load("fig5")
+    if not data:
+        return ""
+    rows = [
+        [m, a["ideal"], a["forward"], a["backward"],
+         a["ideal"] - a["forward"], a["ideal"] - a["backward"]]
+        for m, a in data.items()
+    ]
+    return render_table(
+        ["model", "fault-free", "fwd 2%", "bwd 2%", "fwd loss", "bwd loss"],
+        rows,
+        title="Fig. 5: phase fault tolerance (paper: backward loses up to "
+              "45%, forward ~unchanged)",
+        ndigits=3,
+    )
+
+
+def _fig6() -> str:
+    data = _load("fig6")
+    if not data:
+        return ""
+    acc = data["accuracy"]
+    models = list(acc)
+    labels = list(next(iter(acc.values())))
+    rows = [[m] + [acc[m][l] for l in labels] for m in models]
+    rows.append(
+        ["MEAN"] + [sum(acc[m][l] for m in models) / len(models)
+                    for l in labels]
+    )
+    table = render_table(
+        ["model"] + labels, rows,
+        title="Fig. 6: mitigation methods under pre+post faults",
+        ndigits=3,
+    )
+    return table + f"\nremap-d task remaps: {data.get('remaps', {})}"
+
+
+def _fig7() -> str:
+    data = _load("fig7")
+    if not data:
+        return ""
+    out = []
+    for model, payload in data.items():
+        grid = payload["grid"]
+        m_values = sorted({k.split(",")[0] for k in grid})
+        n_values = sorted({k.split(",")[1] for k in grid})
+        rows = []
+        for m in m_values:
+            rows.append([m] + [grid[f"{m},{n}"] for n in n_values])
+        out.append(render_table(
+            ["", *n_values], rows,
+            title=f"Fig. 7 ({model}): Remap-D under (m, n) post-fault "
+                  f"sweep (fault-free ref {payload['ideal']:.3f})",
+            ndigits=3,
+        ))
+    return "\n\n".join(out)
+
+
+def _fig8() -> str:
+    data = _load("fig8")
+    if not data:
+        return ""
+    out = []
+    for dataset, by_model in data.items():
+        rows = [
+            [m, a["ideal"], a["none"], a["remap-d"],
+             a["ideal"] - a["remap-d"]]
+            for m, a in by_model.items()
+        ]
+        out.append(render_table(
+            ["model", "ideal", "no protection", "remap-d", "remap-d loss"],
+            rows,
+            title=f"Fig. 8 ({dataset})",
+            ndigits=3,
+        ))
+    return "\n\n".join(out)
+
+
+def _overheads() -> str:
+    data = _load("overheads")
+    if not data:
+        return ""
+    rows = [
+        ["BIST pass (ReRAM cycles)", data["bist_cycles"], "260"],
+        ["BIST timing / epoch", f"{100 * data['bist_timing']:.4f}%", "0.13%"],
+        ["Remap traffic (mean)", f"{100 * data['remap_traffic_mean']:.4f}%", "0.22%"],
+        ["Remap traffic (worst)", f"{100 * data['remap_traffic_worst']:.4f}%", "0.36%"],
+        ["BIST area", f"{100 * data['bist_area']:.2f}%", "0.61%"],
+        ["AN-code area", f"{100 * data['an_code_area']:.2f}%", "6.3%"],
+        ["Remap-T-10% area", f"{100 * data['remap_t10_area']:.2f}%", "~10%"],
+        ["Remap power", f"{100 * data['remap_power']:.4f}%", "<0.5%"],
+    ]
+    return render_table(["overhead", "measured", "paper"], rows,
+                        title="Section IV.C overheads")
+
+
+def _ablation() -> str:
+    data = _load("ablation")
+    if not data:
+        return ""
+    return render_table(
+        ["variant", "final accuracy"],
+        [[k, v] for k, v in data.items()],
+        title="Remap-D design ablations (resnet12)",
+        ndigits=3,
+    )
+
+
+def main() -> None:
+    sections = [
+        "=== Remap-D reproduction: benchmark suite output ===",
+        "(figure tables re-rendered from benchmarks/results/*.json; "
+        "pytest-benchmark session logs appended below)",
+        _fig4(), _fig5(), _fig6(), _fig7(), _fig8(), _overheads(), _ablation(),
+    ]
+    body = "\n\n".join(s for s in sections if s)
+    log_parts = []
+    for log in LOGS:
+        path = ROOT / log
+        if path.exists() and path.stat().st_size > 10:
+            log_parts.append(f"----- {log} -----\n{path.read_text()}")
+    out = body + "\n\n\n=== pytest-benchmark session logs ===\n\n" + "\n".join(log_parts)
+    (ROOT / "bench_output.txt").write_text(out)
+    print(f"wrote bench_output.txt ({len(out.splitlines())} lines)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Ablations of Remap-D's design choices (DESIGN.md section 3).
+
+Not a paper figure: these benches quantify the decisions the paper makes
+implicitly — the trigger threshold, the receiver-selection rule and the
+backward-phase priority — on one representative CNN.
+"""
+
+from repro.core.controller import run_experiment
+from repro.core.policies import RemapDPolicy
+from repro.utils.tabulate import render_table
+
+import repro.core.policies as policies_module
+
+from _common import experiment, fig6_fault_config, save_results
+
+MODEL = "resnet12"
+
+
+def _run(policy_kwargs: dict, threshold: float = 0.001) -> float:
+    import repro.core.controller as controller_module
+
+    cfg = experiment(MODEL, "remap-d", fig6_fault_config())
+    cfg.remap_threshold = threshold
+    # The controller builds policies through make_policy; substitute a
+    # factory that configures the protocol variant under test.
+    original = controller_module.make_policy
+
+    def patched(name, param=None, thr=0.002):
+        if name == "remap-d":
+            return RemapDPolicy(threshold=threshold, **policy_kwargs)
+        return original(name, param, thr)
+
+    controller_module.make_policy = patched
+    try:
+        result = run_experiment(cfg)
+    finally:
+        controller_module.make_policy = original
+    return result.final_accuracy
+
+
+def run_ablation() -> dict:
+    rows = []
+    results = {}
+
+    for label, kwargs, thr in [
+        ("baseline (nearest, phase-priority)", {}, 0.001),
+        ("receiver = lowest-density", {"receiver_rule": "lowest-density"}, 0.001),
+        ("receiver = random", {"receiver_rule": "random"}, 0.001),
+        ("no phase priority", {"phase_priority": False}, 0.001),
+        ("threshold x10 (0.01)", {}, 0.01),
+    ]:
+        acc = _run(kwargs, thr)
+        results[label] = acc
+        rows.append([label, acc])
+
+    print()
+    print(render_table(
+        ["variant", "final accuracy"],
+        rows,
+        title=f"Remap-D design ablations ({MODEL})",
+        ndigits=3,
+    ))
+    save_results("ablation", results)
+    return results
+
+
+def test_ablation(benchmark):
+    results = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    # All variants must at least produce a working training run.
+    assert all(acc > 0.15 for acc in results.values())

@@ -1,0 +1,140 @@
+"""Section IV.C overheads: BIST timing, remap NoC traffic, area, power.
+
+Regenerates every overhead number the paper quotes:
+
+========================  ===========  =============================
+quantity                  paper value  bench
+========================  ===========  =============================
+BIST pass                 260 cycles   test_bist_timing
+BIST timing overhead      0.13%        test_bist_timing
+remap traffic (mean)      0.22%        test_remap_traffic_monte_carlo
+remap traffic (worst)     0.36%        test_remap_traffic_monte_carlo
+BIST area                 0.61%        test_area_overheads
+AN-code area              6.3%         test_area_overheads
+Remap-T-10% area          ~10%         test_area_overheads
+remap power               < 0.5%       test_remap_power
+========================  ===========  =============================
+"""
+
+import numpy as np
+
+from repro.area.models import bist_area_overhead, policy_area_overhead
+from repro.area.power import estimate_epoch_flit_hops, remap_power_fraction
+from repro.bist.timing import BistTiming
+from repro.core.controller import build_experiment
+from repro.core.overheads import (
+    OverheadReport,
+    bist_overhead_fraction,
+    epoch_traffic_model,
+    monte_carlo_remap_overhead,
+)
+from repro.nn.tensor import Tensor
+from repro.noc.packet import flits_for_bits
+from repro.noc.topology import CMesh
+from repro.utils.config import ChipConfig, CrossbarConfig, FaultConfig
+from repro.utils.rng import derive_rng
+from repro.utils.tabulate import render_table
+
+from _common import experiment, save_results
+
+#: paper-scale workload for the overhead denominators: CIFAR-10-sized
+#: epoch (50k samples, batch 128) on the 128x128-crossbar RCS.
+PAPER_SAMPLES = 50_000
+PAPER_BATCHES = 391
+
+
+def _paper_scale_context():
+    cfg = experiment("vgg11", "none",
+                     FaultConfig(pre_enabled=False, post_enabled=False))
+    ctx = build_experiment(cfg)
+    ctx.model.eval()
+    ctx.model(Tensor(ctx.dataset.x_train[:2]))  # record conv output sizes
+    return ctx
+
+
+def run_overheads() -> OverheadReport:
+    ctx = _paper_scale_context()
+    chip_cfg = ChipConfig()  # paper-scale 128x128 arrays for area/timing
+    traffic = epoch_traffic_model(
+        ctx.model, ctx.engine, samples=PAPER_SAMPLES, batches=PAPER_BATCHES
+    )
+    bist_frac = bist_overhead_fraction(traffic, chip_cfg)
+
+    cmesh = CMesh(chip_cfg.mesh_rows, chip_cfg.mesh_cols,
+                  chip_cfg.tiles_per_router)
+    rng = derive_rng(7, "overheads-mc")
+    remap_mean, remap_worst = monte_carlo_remap_overhead(
+        cmesh, traffic, rng, rounds=50
+    )
+
+    epoch_hops = estimate_epoch_flit_hops(ctx.model, samples=PAPER_SAMPLES)
+    transfer_flits = flits_for_bits(128 * 128 * 16)
+    remap_hops = 8 * 2 * transfer_flits * 3  # 8 exchanges, both ways, ~3 hops
+    power_frac = remap_power_fraction(remap_hops, epoch_hops)
+
+    report = OverheadReport(
+        bist_timing_fraction=bist_frac,
+        remap_traffic_mean=remap_mean,
+        remap_traffic_worst=remap_worst,
+        bist_area_fraction=bist_area_overhead(chip_cfg),
+        an_code_area_fraction=policy_area_overhead("an-code", chip_cfg),
+        remap_t10_area_fraction=policy_area_overhead("remap-t", chip_cfg),
+        remap_power_fraction=power_frac,
+    )
+    print()
+    print(render_table(
+        ["overhead", "measured", "paper"],
+        report.rows(),
+        title="Section IV.C overhead summary",
+    ))
+    save_results("overheads", {
+        "bist_timing": bist_frac,
+        "remap_traffic_mean": remap_mean,
+        "remap_traffic_worst": remap_worst,
+        "bist_area": report.bist_area_fraction,
+        "an_code_area": report.an_code_area_fraction,
+        "remap_t10_area": report.remap_t10_area_fraction,
+        "remap_power": power_frac,
+        "bist_cycles": BistTiming(CrossbarConfig()).total_cycles,
+    })
+    return report
+
+
+def test_bist_timing(benchmark):
+    timing = benchmark.pedantic(
+        lambda: BistTiming(CrossbarConfig()), rounds=1, iterations=1
+    )
+    assert timing.total_cycles == 260  # paper Section III.B.3
+
+
+def test_overheads_summary(benchmark):
+    report = benchmark.pedantic(run_overheads, rounds=1, iterations=1)
+    # BIST timing overhead is well below a percent (paper: 0.13%).
+    assert report.bist_timing_fraction < 0.01
+    # Remap traffic is a small fraction of the epoch (paper: 0.22%/0.36%).
+    assert report.remap_traffic_mean < 0.01
+    assert report.remap_traffic_mean <= report.remap_traffic_worst
+    # Area ordering: BIST << AN code < Remap-T-10% (paper: 0.61/6.3/10%).
+    assert report.bist_area_fraction < 0.02
+    assert report.bist_area_fraction < report.an_code_area_fraction
+    assert report.an_code_area_fraction < report.remap_t10_area_fraction
+    # Power: remap traffic costs < 0.5% of chip energy per epoch.
+    assert report.remap_power_fraction < 0.005
+
+
+def test_remap_traffic_scales_with_parallelism(benchmark):
+    """Parallel non-overlapping remaps keep the worst case close to the
+    mean — the property the paper attributes to the NoC (Section IV.C)."""
+
+    def ratio() -> float:
+        ctx = _paper_scale_context()
+        traffic = epoch_traffic_model(
+            ctx.model, ctx.engine, samples=PAPER_SAMPLES, batches=PAPER_BATCHES
+        )
+        cmesh = CMesh(4, 4, 4)
+        rng = derive_rng(11, "mc2")
+        mean, worst = monte_carlo_remap_overhead(cmesh, traffic, rng, rounds=50)
+        return worst / mean
+
+    value = benchmark.pedantic(ratio, rounds=1, iterations=1)
+    assert value < 4.0

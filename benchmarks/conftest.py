@@ -1,0 +1,12 @@
+"""Benchmark harness configuration.
+
+Each figure bench runs exactly once per session (``benchmark.pedantic``
+with one round): the interesting output is the regenerated figure data,
+not a latency distribution.
+"""
+
+import sys
+import pathlib
+
+# Make the sibling `_common` module importable regardless of rootdir.
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))

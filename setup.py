@@ -1,0 +1,11 @@
+"""Setup shim for offline editable installs.
+
+The execution environment has no network access and no `wheel` package, so
+PEP 517 builds (which need `bdist_wheel`) fail.  Keeping a classic
+``setup.py`` lets ``pip install -e .`` fall back to the legacy
+``setup.py develop`` path, which works fully offline.
+"""
+
+from setuptools import setup
+
+setup()

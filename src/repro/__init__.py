@@ -1,0 +1,59 @@
+"""Remap-D: dynamic task remapping for reliable CNN training on ReRAM
+crossbars — a full-stack reproduction of the DATE 2023 paper.
+
+Quickstart::
+
+    from repro import ExperimentConfig, TrainConfig, run_experiment
+
+    config = ExperimentConfig(
+        train=TrainConfig(model="resnet12", epochs=6, width_mult=0.2),
+        policy="remap-d",
+    )
+    result = run_experiment(config)
+    print(result.final_accuracy, result.num_remaps)
+
+Package map:
+
+* ``repro.core`` — Remap-D, all baselines, the experiment controller;
+* ``repro.reram`` — crossbars, IMAs, tiles, the RCS chip;
+* ``repro.faults`` — stuck-at fault maps, distributions, injection;
+* ``repro.bist`` — the density-only BIST (FSM, analog model, timing);
+* ``repro.noc`` — cycle-level c-mesh NoC with XY-tree multicast;
+* ``repro.ecc`` — AN arithmetic codes (the ECC baseline);
+* ``repro.nn`` — NumPy autograd CNN framework + crossbar binding;
+* ``repro.area`` — NeuroSim-style area/power models.
+"""
+
+from repro.utils.config import (
+    ChipConfig,
+    CrossbarConfig,
+    ExperimentConfig,
+    FaultConfig,
+    TrainConfig,
+)
+from repro.core.controller import (
+    ExperimentResult,
+    build_experiment,
+    run_experiment,
+)
+from repro.core.policies import POLICY_NAMES, make_policy
+from repro.nn.models import MODEL_NAMES
+from repro.nn.data import DATASET_NAMES
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ChipConfig",
+    "CrossbarConfig",
+    "ExperimentConfig",
+    "FaultConfig",
+    "TrainConfig",
+    "ExperimentResult",
+    "build_experiment",
+    "run_experiment",
+    "make_policy",
+    "POLICY_NAMES",
+    "MODEL_NAMES",
+    "DATASET_NAMES",
+    "__version__",
+]

@@ -1,0 +1,36 @@
+"""Analytical area and power models (NeuroSim substitute).
+
+NeuroSim-style component-level bookkeeping: every mixed-signal and digital
+block of the RCS has a calibrated area constant; tile/chip areas are
+rolled up from the hardware tree, and the BIST/ECC/spare-crossbar
+overheads of the compared policies fall out as fractions of chip area.
+"""
+
+from repro.area.constants import AreaConstants, DEFAULT_AREA
+from repro.area.models import (
+    ima_area_mm2,
+    tile_area_mm2,
+    chip_area_mm2,
+    bist_area_overhead,
+    policy_area_overhead,
+)
+from repro.area.power import (
+    EnergyConstants,
+    DEFAULT_ENERGY,
+    estimate_epoch_flit_hops,
+    remap_power_fraction,
+)
+
+__all__ = [
+    "AreaConstants",
+    "DEFAULT_AREA",
+    "ima_area_mm2",
+    "tile_area_mm2",
+    "chip_area_mm2",
+    "bist_area_overhead",
+    "policy_area_overhead",
+    "EnergyConstants",
+    "DEFAULT_ENERGY",
+    "estimate_epoch_flit_hops",
+    "remap_power_fraction",
+]

@@ -1,0 +1,110 @@
+"""Area roll-up: IMA -> tile -> chip, and policy overheads.
+
+Mirrors NeuroSim's methodology: component areas (from
+:mod:`repro.area.constants`) times the component counts implied by the
+chip geometry.  The headline numbers of Section IV.C fall out of the
+ratios: the BIST module against the chip (~0.6%), the AN-code datapath
+(6.3%, taken from Feinberg et al.), and the spare crossbars of
+Remap-T-n% / Remap-WS (n% by construction).
+"""
+
+from __future__ import annotations
+
+from repro.area.constants import DEFAULT_AREA, AreaConstants
+from repro.ecc.an_code import AN_CODE_AREA_OVERHEAD
+from repro.utils.config import ChipConfig
+
+__all__ = [
+    "ima_area_mm2",
+    "tile_area_mm2",
+    "chip_area_mm2",
+    "bist_area_overhead",
+    "policy_area_overhead",
+]
+
+ADCS_PER_IMA = 8
+
+
+def ima_area_mm2(
+    config: ChipConfig,
+    constants: AreaConstants = DEFAULT_AREA,
+    with_bist: bool = True,
+) -> float:
+    """Area of one IMA: crossbars + mixed-signal periphery (+ BIST)."""
+    xbar = config.crossbar
+    area = config.crossbars_per_ima * (
+        constants.crossbar_array
+        + xbar.rows * constants.dac_per_row
+        + xbar.cols * constants.sample_hold_per_col
+    )
+    area += ADCS_PER_IMA * constants.adc
+    area += ADCS_PER_IMA * constants.shift_add
+    area += constants.io_registers
+    if with_bist:
+        area += constants.bist_module
+    return area
+
+
+def tile_area_mm2(
+    config: ChipConfig,
+    constants: AreaConstants = DEFAULT_AREA,
+    with_bist: bool = True,
+) -> float:
+    """Area of one tile: IMAs + eDRAM + digital functional units."""
+    return (
+        config.imas_per_tile * ima_area_mm2(config, constants, with_bist)
+        + constants.edram_per_tile
+        + constants.tile_functional
+    )
+
+
+def chip_area_mm2(
+    config: ChipConfig,
+    constants: AreaConstants = DEFAULT_AREA,
+    with_bist: bool = True,
+) -> float:
+    """Total RCS area: tiles + c-mesh routers and links."""
+    tiles = config.num_tiles * tile_area_mm2(config, constants, with_bist)
+    mesh_links = (
+        config.mesh_rows * (config.mesh_cols - 1)
+        + config.mesh_cols * (config.mesh_rows - 1)
+    )
+    noc = config.num_routers * constants.router + mesh_links * constants.link_per_hop
+    return tiles + noc
+
+
+def bist_area_overhead(
+    config: ChipConfig, constants: AreaConstants = DEFAULT_AREA
+) -> float:
+    """BIST modules as a fraction of the BIST-free chip area."""
+    with_bist = chip_area_mm2(config, constants, with_bist=True)
+    without = chip_area_mm2(config, constants, with_bist=False)
+    return (with_bist - without) / without
+
+
+def policy_area_overhead(
+    policy_name: str,
+    config: ChipConfig,
+    constants: AreaConstants = DEFAULT_AREA,
+    param: float | None = None,
+) -> float:
+    """Extra area each mitigation policy needs, as a chip-area fraction.
+
+    * ``remap-d`` — only the BIST modules;
+    * ``an-code`` — the 6.3% encode/decode datapath (no BIST needed);
+    * ``remap-t`` / ``remap-ws`` — n% spare crossbar capacity
+      (default 10% / 5% as in the paper);
+    * ``static`` / ``none`` / ``ideal`` — nothing.
+    """
+    name = policy_name.lower()
+    if name == "remap-d":
+        return bist_area_overhead(config, constants)
+    if name == "an-code":
+        return AN_CODE_AREA_OVERHEAD
+    if name == "remap-t":
+        return param if param is not None else 0.10
+    if name == "remap-ws":
+        return param if param is not None else 0.05
+    if name in ("static", "none", "ideal"):
+        return 0.0
+    raise ValueError(f"unknown policy {policy_name!r}")

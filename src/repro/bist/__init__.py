@@ -1,0 +1,44 @@
+"""Built-in self-test (BIST) for fault-density estimation.
+
+The paper's BIST (Fig. 2) deliberately does *not* locate individual faulty
+cells — it only measures each crossbar's aggregate SA0/SA1 fault density,
+which is all the remapping policy needs.  The flow per crossbar:
+
+1. write logic "0" to all cells row-by-row (``rows`` ReRAM cycles),
+2. apply a read voltage to every row in parallel (1 cycle) — stuck-at-1
+   cells produce excess column current,
+3. digitise and accumulate the column currents to estimate the SA1 count
+   (1 cycle),
+4-6. repeat with logic "1" (via the flip/1's-complement logic) to expose
+   stuck-at-0 cells as missing current.
+
+For a 128x128 array that is 2 x 130 = 260 ReRAM cycles per epoch.
+"""
+
+from repro.bist.fsm import BistState, BistController
+from repro.bist.analog import (
+    column_currents_sa1_test,
+    column_currents_sa0_test,
+    nominal_sa1_conductance,
+    nominal_sa0_conductance,
+)
+from repro.bist.density import BistResult, run_bist, scan_chip, pair_density_estimates
+from repro.bist.timing import BistTiming
+from repro.bist.march import MarchResult, march_cminus, march_cost_cycles
+
+__all__ = [
+    "BistState",
+    "BistController",
+    "column_currents_sa1_test",
+    "column_currents_sa0_test",
+    "nominal_sa1_conductance",
+    "nominal_sa0_conductance",
+    "BistResult",
+    "run_bist",
+    "scan_chip",
+    "pair_density_estimates",
+    "BistTiming",
+    "MarchResult",
+    "march_cminus",
+    "march_cost_cycles",
+]

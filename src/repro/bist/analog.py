@@ -1,0 +1,110 @@
+"""Analog column-current model for the BIST read-out (Fig. 4).
+
+This replaces the paper's HSpice simulation.  A crossbar column driven with
+read voltage ``V`` on every row sources a current equal to ``V`` times the
+sum of the column's cell conductances (ideal virtual-ground sensing, as in
+the sneak-path-free 1T1R arrays the target RCS uses).  Stuck cells replace
+their programmed conductance with a random stuck resistance drawn from the
+Grossi et al. ranges:
+
+* SA1: 1.5-3 kOhm (conducts far *more* than a healthy on-cell),
+* SA0: 0.8-3 MOhm (conducts essentially nothing).
+
+During the SA1 test all healthy cells hold logic "0" (conductance
+``g_off``), so each SA1 cell adds a large excess current; during the SA0
+test all healthy cells hold logic "1" (``g_on``), so each SA0 cell removes
+``~g_on`` of current.  The per-column current is therefore a monotone
+function of the per-column fault count — Fig. 4 — and remains so under the
+full stuck-resistance variation, which is what makes the density estimate
+reliable.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.faults.types import FaultMap
+from repro.reram.cell import sample_sa0_resistances, sample_sa1_resistances
+from repro.utils.config import CrossbarConfig
+
+__all__ = [
+    "nominal_sa1_conductance",
+    "nominal_sa0_conductance",
+    "column_currents_sa1_test",
+    "column_currents_sa0_test",
+]
+
+
+def nominal_sa1_conductance(config: CrossbarConfig) -> float:
+    """Calibration conductance of an SA1 cell (geometric-mean resistance)."""
+    return 1.0 / math.sqrt(config.r_sa1_min * config.r_sa1_max)
+
+
+def nominal_sa0_conductance(config: CrossbarConfig) -> float:
+    """Calibration conductance of an SA0 cell (geometric-mean resistance)."""
+    return 1.0 / math.sqrt(config.r_sa0_min * config.r_sa0_max)
+
+
+def _fault_contributions(
+    fault_map: FaultMap,
+    config: CrossbarConfig,
+    rng: np.random.Generator,
+    healthy_g: float,
+) -> np.ndarray:
+    """Per-column current-delta (A/V) of all stuck cells vs. healthy cells.
+
+    For every stuck cell the contribution is ``1/R_stuck - healthy_g``,
+    where ``R_stuck`` is sampled with device-to-device variation.
+    """
+    delta = np.zeros(fault_map.cols, dtype=np.float64)
+    sa1_rows, sa1_cols = np.nonzero(fault_map.sa1_mask)
+    if sa1_cols.size:
+        r = sample_sa1_resistances(rng, sa1_cols.size, config)
+        np.add.at(delta, sa1_cols, 1.0 / r - healthy_g)
+    sa0_rows, sa0_cols = np.nonzero(fault_map.sa0_mask)
+    if sa0_cols.size:
+        r = sample_sa0_resistances(rng, sa0_cols.size, config)
+        np.add.at(delta, sa0_cols, 1.0 / r - healthy_g)
+    return delta
+
+
+def column_currents_sa1_test(
+    fault_map: FaultMap,
+    config: CrossbarConfig,
+    rng: np.random.Generator,
+    noise_fraction: float = 0.01,
+) -> np.ndarray:
+    """Column currents (A) observed in BIST states S1-S3 (all cells at "0").
+
+    ``noise_fraction`` adds sensing/ADC noise as a fraction of one healthy
+    on-cell's current (sigma), modelling the CMOS read-out imperfections.
+    """
+    baseline = config.rows * config.g_off
+    delta = _fault_contributions(fault_map, config, rng, healthy_g=config.g_off)
+    currents = config.read_voltage * (baseline + delta)
+    if noise_fraction > 0:
+        sigma = noise_fraction * config.read_voltage * config.g_on
+        currents = currents + rng.normal(0.0, sigma, size=currents.shape)
+    return currents
+
+
+def column_currents_sa0_test(
+    fault_map: FaultMap,
+    config: CrossbarConfig,
+    rng: np.random.Generator,
+    noise_fraction: float = 0.01,
+) -> np.ndarray:
+    """Column currents (A) observed in BIST states S4-S6 (all cells at "1").
+
+    Healthy cells conduct ``g_on``; every SA0 cell is missing from the sum,
+    every SA1 cell adds extra current (it conducts more than ``g_on``).
+    """
+    baseline = config.rows * config.g_on
+    delta = _fault_contributions(fault_map, config, rng, healthy_g=config.g_on)
+    currents = config.read_voltage * (baseline + delta)
+    if noise_fraction > 0:
+        sigma = noise_fraction * config.read_voltage * config.g_on
+        currents = currents + rng.normal(0.0, sigma, size=currents.shape)
+    return currents

@@ -1,0 +1,136 @@
+"""The 7-state BIST controller finite-state machine (Fig. 2).
+
+States (paper's Fig. 2(b)):
+
+====  =========  =======================================================
+S0    IDLE       waiting; ``finish`` flag set when a full pass completes
+S1    WR_ZERO    write logic "0" to every cell, row-by-row (rows cycles)
+S2    RD_SA1     apply read voltage to all rows (1 cycle)
+S3    CALC_SA1   peripherals digitise currents -> SA1 density (1 cycle)
+S4    WR_ONE     write logic "1" via the flip (1's complement) logic
+S5    RD_SA0     apply read voltage (1 cycle)
+S6    CALC_SA0   peripherals -> SA0 density (1 cycle), back to S0
+====  =========  =======================================================
+
+The controller is cycle-accurate at ReRAM-cycle granularity: a counter
+``c`` gates the multi-cycle write states exactly as in the paper's logic
+block.  ``run()`` drives a :class:`~repro.reram.crossbar.Crossbar` through
+a complete test pass and returns the measured column currents.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bist.analog import column_currents_sa0_test, column_currents_sa1_test
+from repro.reram.crossbar import Crossbar
+
+__all__ = ["BistState", "BistController"]
+
+
+class BistState(enum.Enum):
+    S0_IDLE = 0
+    S1_WR_ZERO = 1
+    S2_RD_SA1 = 2
+    S3_CALC_SA1 = 3
+    S4_WR_ONE = 4
+    S5_RD_SA0 = 5
+    S6_CALC_SA0 = 6
+
+
+@dataclass
+class BistController:
+    """Cycle-accurate BIST FSM bound to one crossbar.
+
+    Attributes
+    ----------
+    crossbar:
+        The array under test.  A full pass overwrites its contents (the
+        real hardware runs BIST right before the next weight write, so
+        nothing of value is lost; our training controller does the same).
+    noise_fraction:
+        Sensing-noise level forwarded to the analog model.
+    """
+
+    crossbar: Crossbar
+    rng: np.random.Generator
+    noise_fraction: float = 0.01
+    state: BistState = BistState.S0_IDLE
+    cycle: int = 0
+    counter: int = 0
+    finish_flag: bool = False
+    sa1_currents: np.ndarray | None = field(default=None, repr=False)
+    sa0_currents: np.ndarray | None = field(default=None, repr=False)
+
+    def start(self) -> None:
+        """Leave idle and begin a test pass (clears the finish flag)."""
+        if self.state is not BistState.S0_IDLE:
+            raise RuntimeError("BIST already running")
+        self.state = BistState.S1_WR_ZERO
+        self.counter = 0
+        self.finish_flag = False
+        self.sa1_currents = None
+        self.sa0_currents = None
+
+    def step(self) -> None:
+        """Advance the FSM by one ReRAM cycle."""
+        rows = self.crossbar.config.rows
+        self.cycle += 1
+        if self.state is BistState.S0_IDLE:
+            return
+        if self.state is BistState.S1_WR_ZERO:
+            self.counter += 1  # one row written per cycle
+            if self.counter >= rows:
+                self.crossbar.program(
+                    np.zeros((rows, self.crossbar.config.cols))
+                )
+                self.state = BistState.S2_RD_SA1
+                self.counter = 0
+        elif self.state is BistState.S2_RD_SA1:
+            self.sa1_currents = column_currents_sa1_test(
+                self.crossbar.fault_map,
+                self.crossbar.config,
+                self.rng,
+                self.noise_fraction,
+            )
+            self.state = BistState.S3_CALC_SA1
+        elif self.state is BistState.S3_CALC_SA1:
+            self.state = BistState.S4_WR_ONE
+        elif self.state is BistState.S4_WR_ONE:
+            self.counter += 1
+            if self.counter >= rows:
+                # "flip" logic: 1's complement of the all-zero pattern.
+                self.crossbar.program(
+                    np.ones((rows, self.crossbar.config.cols))
+                )
+                self.state = BistState.S5_RD_SA0
+                self.counter = 0
+        elif self.state is BistState.S5_RD_SA0:
+            self.sa0_currents = column_currents_sa0_test(
+                self.crossbar.fault_map,
+                self.crossbar.config,
+                self.rng,
+                self.noise_fraction,
+            )
+            self.state = BistState.S6_CALC_SA0
+        elif self.state is BistState.S6_CALC_SA0:
+            self.state = BistState.S0_IDLE
+            self.finish_flag = True
+
+    def run(self) -> int:
+        """Run a complete pass; returns the number of ReRAM cycles used.
+
+        For a 128-row crossbar this is 2 x (128 + 1 + 1) = 260 cycles,
+        matching Section III.B.3.
+        """
+        self.start()
+        start_cycle = self.cycle
+        guard = 10 * (2 * self.crossbar.config.rows + 4)
+        while not self.finish_flag:
+            self.step()
+            if self.cycle - start_cycle > guard:  # pragma: no cover
+                raise RuntimeError("BIST FSM failed to terminate")
+        return self.cycle - start_cycle

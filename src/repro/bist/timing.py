@@ -1,0 +1,60 @@
+"""BIST cycle/latency accounting (Section III.B.3).
+
+One full BIST pass per crossbar costs::
+
+    SA1 test: rows (write "0") + 1 (read) + 1 (calc)  = rows + 2
+    SA0 test: rows (write "1") + 1 (read) + 1 (calc)  = rows + 2
+    total:    2 * (rows + 2)                          = 260 for 128 rows
+
+ReRAM arrays run at 10 MHz (100 ns/cycle) while the CMOS peripherals run
+at 1.2 GHz, so the single "calc" step comfortably fits in one ReRAM cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.config import CrossbarConfig
+
+__all__ = ["BistTiming"]
+
+
+@dataclass(frozen=True)
+class BistTiming:
+    """Derived BIST timing figures for one crossbar geometry."""
+
+    config: CrossbarConfig
+
+    @property
+    def cycles_per_test(self) -> int:
+        """ReRAM cycles for one fault type (write + read + calc)."""
+        return self.config.rows + 2
+
+    @property
+    def total_cycles(self) -> int:
+        """ReRAM cycles for a complete SA1 + SA0 pass (260 for 128x128)."""
+        return 2 * self.cycles_per_test
+
+    @property
+    def pass_time_ns(self) -> float:
+        """Wall-clock duration of one BIST pass."""
+        return self.total_cycles * self.config.reram_cycle_ns
+
+    @property
+    def extra_writes_per_pass(self) -> int:
+        """Array writes consumed by BIST itself (endurance impact)."""
+        return 2  # one all-"0" write + one all-"1" write
+
+    def overhead_fraction(self, epoch_reram_cycles: float) -> float:
+        """BIST time as a fraction of one training epoch's compute time.
+
+        BIST modules run in parallel across IMAs, so the chip-level pass
+        latency equals (crossbars per IMA) back-to-back passes.
+        """
+        if epoch_reram_cycles <= 0:
+            raise ValueError("epoch_reram_cycles must be positive")
+        return self.total_cycles / epoch_reram_cycles
+
+    def cmos_cycles_per_calc(self) -> int:
+        """CMOS cycles available inside one ReRAM cycle for the calc step."""
+        return int(self.config.cmos_clock_ghz * self.config.reram_cycle_ns)

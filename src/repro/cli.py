@@ -1,0 +1,212 @@
+"""Command-line interface: run experiments without writing Python.
+
+Examples::
+
+    python -m repro run --model resnet12 --policy remap-d --epochs 8
+    python -m repro compare --model vgg11 --policies ideal none remap-d
+    python -m repro overheads
+    python -m repro bist --sa0 150 --sa1 20
+
+Every command prints plain-text tables (and, where helpful, ASCII bars)
+so the tool is usable over ssh on the machine actually running the sims.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.controller import run_experiment
+from repro.core.policies import POLICY_NAMES
+from repro.nn.data import DATASET_NAMES
+from repro.nn.models import MODEL_NAMES
+from repro.utils.charts import render_bars
+from repro.utils.config import (
+    ChipConfig,
+    CrossbarConfig,
+    ExperimentConfig,
+    FaultConfig,
+    TrainConfig,
+)
+from repro.utils.tabulate import render_table
+
+__all__ = ["main", "build_parser"]
+
+
+def _experiment_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--model", choices=MODEL_NAMES, default="resnet12")
+    parser.add_argument("--dataset", choices=DATASET_NAMES,
+                        default="synth-cifar10")
+    parser.add_argument("--epochs", type=int, default=8)
+    parser.add_argument("--batch-size", type=int, default=32)
+    parser.add_argument("--n-train", type=int, default=512)
+    parser.add_argument("--n-test", type=int, default=192)
+    parser.add_argument("--width-mult", type=float, default=0.125)
+    parser.add_argument("--crossbar-size", type=int, default=32,
+                        help="crossbar rows=cols (paper: 128)")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--no-pre-faults", action="store_true")
+    parser.add_argument("--no-post-faults", action="store_true")
+    parser.add_argument("--post-m", type=float, default=0.005,
+                        help="new-cell fraction per hit crossbar per epoch")
+    parser.add_argument("--post-n", type=float, default=0.01,
+                        help="fraction of crossbars hit per epoch")
+    parser.add_argument("--remap-threshold", type=float, default=0.001)
+
+
+def _config_from(args: argparse.Namespace, policy: str,
+                 policy_param: float = 0.0) -> ExperimentConfig:
+    return ExperimentConfig(
+        train=TrainConfig(
+            model=args.model,
+            dataset=args.dataset,
+            epochs=args.epochs,
+            batch_size=args.batch_size,
+            n_train=args.n_train,
+            n_test=args.n_test,
+            width_mult=args.width_mult,
+        ),
+        chip=ChipConfig(
+            crossbar=CrossbarConfig(rows=args.crossbar_size,
+                                    cols=args.crossbar_size)
+        ),
+        faults=FaultConfig(
+            pre_enabled=not args.no_pre_faults,
+            post_enabled=not args.no_post_faults,
+            post_m=args.post_m,
+            post_n=args.post_n,
+        ),
+        policy=policy,
+        policy_param=policy_param,
+        remap_threshold=args.remap_threshold,
+        seed=args.seed,
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = _config_from(args, args.policy, args.policy_param)
+    result = run_experiment(config)
+    print(render_table(
+        ["model", "dataset", "policy", "final acc", "remaps", "chip density"],
+        [result.summary_row()],
+        title="experiment result",
+        ndigits=4,
+    ))
+    curve = result.train_result.accuracy_curve()
+    print()
+    print(render_bars(
+        [f"epoch {i}" for i in range(len(curve))], curve,
+        title="test accuracy per epoch", vmax=1.0,
+    ))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    rows = []
+    accs = []
+    for policy in args.policies:
+        result = run_experiment(_config_from(args, policy))
+        rows.append([policy, result.final_accuracy, result.num_remaps])
+        accs.append(result.final_accuracy)
+        print(f"done: {policy:<10} acc={result.final_accuracy:.3f}",
+              file=sys.stderr)
+    print(render_table(
+        ["policy", "final accuracy", "remaps"], rows,
+        title=f"policy comparison ({args.model}, {args.dataset})",
+        ndigits=3,
+    ))
+    print()
+    print(render_bars(args.policies, accs, vmax=1.0))
+    return 0
+
+
+def _cmd_overheads(args: argparse.Namespace) -> int:
+    from repro.area.models import bist_area_overhead, policy_area_overhead
+    from repro.bist.march import march_cost_cycles
+    from repro.bist.timing import BistTiming
+
+    chip = ChipConfig()
+    timing = BistTiming(chip.crossbar)
+    rows = [
+        ["BIST pass (ReRAM cycles)", timing.total_cycles, "260"],
+        ["March C- pass (ReRAM cycles)", march_cost_cycles(chip.crossbar),
+         "(rejected: ~5x BIST)"],
+        ["BIST pass (us)", timing.pass_time_ns / 1000, "26"],
+        ["BIST area", f"{100 * bist_area_overhead(chip):.2f}%", "0.61%"],
+        ["AN-code area", f"{100 * policy_area_overhead('an-code', chip):.1f}%",
+         "6.3%"],
+        ["Remap-T-10% area",
+         f"{100 * policy_area_overhead('remap-t', chip):.1f}%", "~10%"],
+    ]
+    print(render_table(["quantity", "model", "paper"], rows,
+                       title="hardware overheads (128x128 RCS)"))
+    return 0
+
+
+def _cmd_bist(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.bist.density import run_bist
+    from repro.faults.types import FaultMap, FaultType
+    from repro.utils.rng import derive_rng
+
+    cfg = CrossbarConfig(rows=args.crossbar_size, cols=args.crossbar_size)
+    rng = derive_rng(args.seed, "cli-bist")
+    fm = FaultMap(cfg.rows, cfg.cols)
+    cells = rng.choice(cfg.cells, size=args.sa0 + args.sa1, replace=False)
+    fm.inject(cells[: args.sa0], FaultType.SA0)
+    fm.inject(cells[args.sa0:], FaultType.SA1)
+    res = run_bist(fm, cfg, rng)
+    print(render_table(
+        ["", "SA0", "SA1", "density"],
+        [
+            ["injected", args.sa0, args.sa1, f"{fm.density:.4%}"],
+            ["BIST estimate", res.sa0_count, res.sa1_count,
+             f"{res.density:.4%}"],
+        ],
+        title=f"BIST on a {cfg.rows}x{cfg.cols} crossbar",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Remap-D reproduction: fault-tolerant CNN training "
+                    "on simulated ReRAM crossbars",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run one experiment")
+    _experiment_args(p_run)
+    p_run.add_argument("--policy", choices=POLICY_NAMES, default="remap-d")
+    p_run.add_argument("--policy-param", type=float, default=0.0)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="compare mitigation policies")
+    _experiment_args(p_cmp)
+    p_cmp.add_argument("--policies", nargs="+", choices=POLICY_NAMES,
+                       default=["ideal", "none", "remap-d"])
+    p_cmp.set_defaults(func=_cmd_compare)
+
+    p_ovh = sub.add_parser("overheads", help="print hardware overheads")
+    p_ovh.set_defaults(func=_cmd_overheads)
+
+    p_bist = sub.add_parser("bist", help="BIST a synthetic faulty crossbar")
+    p_bist.add_argument("--sa0", type=int, default=150)
+    p_bist.add_argument("--sa1", type=int, default=20)
+    p_bist.add_argument("--crossbar-size", type=int, default=128)
+    p_bist.add_argument("--seed", type=int, default=0)
+    p_bist.set_defaults(func=_cmd_bist)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

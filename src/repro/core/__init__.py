@@ -1,0 +1,80 @@
+"""Remap-D and baselines: the paper's fault-tolerant-training policies.
+
+* :mod:`repro.core.tasks` — the task abstraction (one layer slice x phase
+  on one crossbar pair) and its fault-tolerance ranking.
+* :mod:`repro.core.remap_protocol` — the three-step sender/receiver
+  protocol of Fig. 3 (broadcast request, responses, proximity match).
+* :mod:`repro.core.policies` — Remap-D plus every baseline of Fig. 6
+  (ideal, no protection, AN code, static mapping, Remap-WS, Remap-T-n%).
+* :mod:`repro.core.controller` — end-to-end experiment orchestration:
+  build chip + model, inject faults, train, BIST, remap each epoch.
+* :mod:`repro.core.overheads` — timing/area/power overhead accounting.
+"""
+
+from repro.core.tasks import Task, enumerate_tasks, phase_tolerance_rank
+from repro.core.remap_protocol import RemapProtocol, RemapDecision, RemapPlan
+from repro.core.policies import (
+    Policy,
+    IdealPolicy,
+    NoProtectionPolicy,
+    ANCodePolicy,
+    StaticMappingPolicy,
+    RemapWSPolicy,
+    RemapTNPolicy,
+    RemapDPolicy,
+    make_policy,
+    POLICY_NAMES,
+)
+from repro.core.controller import (
+    ExperimentContext,
+    ExperimentResult,
+    run_experiment,
+    build_experiment,
+    inject_phase_faults,
+)
+from repro.core.analysis import (
+    SweepResult,
+    run_sweep,
+    seed_average,
+    accuracy_loss_table,
+)
+from repro.core.overheads import (
+    estimate_mvms_per_sample,
+    epoch_traffic_model,
+    bist_overhead_fraction,
+    remap_noc_overhead,
+    OverheadReport,
+)
+
+__all__ = [
+    "Task",
+    "enumerate_tasks",
+    "phase_tolerance_rank",
+    "RemapProtocol",
+    "RemapDecision",
+    "RemapPlan",
+    "Policy",
+    "IdealPolicy",
+    "NoProtectionPolicy",
+    "ANCodePolicy",
+    "StaticMappingPolicy",
+    "RemapWSPolicy",
+    "RemapTNPolicy",
+    "RemapDPolicy",
+    "make_policy",
+    "POLICY_NAMES",
+    "SweepResult",
+    "run_sweep",
+    "seed_average",
+    "accuracy_loss_table",
+    "ExperimentContext",
+    "ExperimentResult",
+    "run_experiment",
+    "build_experiment",
+    "inject_phase_faults",
+    "estimate_mvms_per_sample",
+    "epoch_traffic_model",
+    "bist_overhead_fraction",
+    "remap_noc_overhead",
+    "OverheadReport",
+]

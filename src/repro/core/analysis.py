@@ -1,0 +1,94 @@
+"""Result aggregation utilities for multi-run experiments.
+
+The paper's figures aggregate runs across CNNs, datasets and fault
+regimes; these helpers run the sweeps, collect
+:class:`~repro.core.controller.ExperimentResult` objects, and compute the
+derived quantities quoted in the text (accuracy loss vs. the fault-free
+reference, per-method averages, remap counts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable
+
+from repro.core.controller import ExperimentResult, run_experiment
+from repro.utils.config import ExperimentConfig
+
+__all__ = ["SweepResult", "run_sweep", "accuracy_loss_table", "seed_average"]
+
+
+@dataclass
+class SweepResult:
+    """Results of a labelled set of experiment runs."""
+
+    runs: dict[str, ExperimentResult] = field(default_factory=dict)
+
+    def add(self, label: str, result: ExperimentResult) -> None:
+        if label in self.runs:
+            raise KeyError(f"duplicate sweep label {label!r}")
+        self.runs[label] = result
+
+    def accuracy(self, label: str) -> float:
+        return self.runs[label].final_accuracy
+
+    def labels(self) -> list[str]:
+        return list(self.runs)
+
+    def losses_vs(self, reference: str) -> dict[str, float]:
+        """Accuracy loss of every run relative to one reference run."""
+        ref = self.accuracy(reference)
+        return {
+            label: ref - result.final_accuracy
+            for label, result in self.runs.items()
+            if label != reference
+        }
+
+
+def run_sweep(
+    configs: Iterable[tuple[str, ExperimentConfig]],
+    progress: bool = False,
+) -> SweepResult:
+    """Run a labelled collection of experiments sequentially."""
+    sweep = SweepResult()
+    for label, config in configs:
+        result = run_experiment(config)
+        sweep.add(label, result)
+        if progress:
+            print(f"[sweep] {label:<30} acc={result.final_accuracy:.3f}")
+    return sweep
+
+
+def seed_average(
+    config: ExperimentConfig, seeds: Iterable[int]
+) -> tuple[float, float, list[ExperimentResult]]:
+    """Run one configuration across seeds; returns (mean, spread, runs).
+
+    ``spread`` is max - min of the final accuracies — the honest
+    uncertainty figure for small-sample sweeps.
+    """
+    results = [run_experiment(replace(config, seed=s)) for s in seeds]
+    accs = [r.final_accuracy for r in results]
+    if not accs:
+        raise ValueError("seed_average needs at least one seed")
+    return (
+        sum(accs) / len(accs),
+        max(accs) - min(accs),
+        results,
+    )
+
+
+def accuracy_loss_table(
+    sweep: SweepResult, reference: str, ndigits: int = 3
+) -> list[list]:
+    """Rows of (label, accuracy, loss vs reference) for report tables."""
+    rows: list[list] = []
+    ref_acc = sweep.accuracy(reference)
+    rows.append([reference, round(ref_acc, ndigits), 0.0])
+    for label, loss in sweep.losses_vs(reference).items():
+        rows.append([
+            label,
+            round(sweep.accuracy(label), ndigits),
+            round(loss, ndigits),
+        ])
+    return rows

@@ -1,0 +1,240 @@
+"""End-to-end experiment orchestration.
+
+``run_experiment`` wires the full stack together the way the paper's
+methodology does:
+
+1. build the synthetic dataset, the CNN and an RCS chip sized to hold
+   both crossbar copies of every layer;
+2. inject pre-deployment (manufacturing) faults — non-uniform, clustered;
+3. train; after *every* epoch: record weight-update wear, inject
+   post-deployment (endurance) faults, run the BIST scan if the policy
+   needs it, and let the policy react (remap / refresh overrides);
+4. report the trained accuracy and all remap/fault statistics.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.bist.density import pair_density_estimates, scan_chip
+from repro.core.policies import Policy, make_policy
+from repro.core.remap_protocol import RemapPlan
+from repro.faults.distribution import clustered_cells, uniform_cells
+from repro.faults.injector import FaultInjector
+from repro.faults.types import FaultType
+from repro.nn.data import SyntheticDataset, make_dataset
+from repro.nn.fault_aware import CrossbarEngine
+from repro.nn.layers import Conv2d, Linear, Module
+from repro.nn.models import build_model
+from repro.nn.trainer import Trainer, TrainResult
+from repro.reram.chip import Chip
+from repro.reram.mapping import blocks_needed
+from repro.utils.config import ChipConfig, ExperimentConfig
+from repro.utils.logging import RunLogger
+from repro.utils.rng import RngHub
+
+__all__ = [
+    "ExperimentContext",
+    "ExperimentResult",
+    "build_experiment",
+    "run_experiment",
+    "inject_phase_faults",
+    "size_chip_for_model",
+]
+
+
+@dataclass
+class ExperimentContext:
+    """Shared state visible to policies during a run."""
+
+    config: ExperimentConfig
+    rng_hub: RngHub
+    dataset: SyntheticDataset
+    model: Module
+    chip: Chip
+    engine: CrossbarEngine
+    injector: FaultInjector
+    policy: Policy
+    trainer: Trainer
+    #: latest BIST per-pair density estimates (refreshed each epoch when
+    #: the policy uses BIST; zeros otherwise).
+    pair_density_est: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    remap_plans: list[tuple[int, RemapPlan]] = field(default_factory=list)
+    bist_scans: int = 0
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one fault-tolerant training experiment."""
+
+    policy: str
+    model: str
+    dataset: str
+    train_result: TrainResult
+    final_accuracy: float
+    best_accuracy: float
+    num_remaps: int
+    mean_chip_density: float
+    max_pair_density: float
+    wall_seconds: float
+
+    def summary_row(self) -> list:
+        return [
+            self.model,
+            self.dataset,
+            self.policy,
+            round(self.final_accuracy, 4),
+            self.num_remaps,
+            round(self.mean_chip_density, 5),
+        ]
+
+
+def size_chip_for_model(
+    model: Module, base: ChipConfig, slack: float = 2.0
+) -> ChipConfig:
+    """Scale ``crossbars_per_ima`` so both copies of every layer fit.
+
+    Keeps the tile/mesh geometry of ``base`` (the NoC the paper evaluates)
+    and grows only the per-IMA crossbar count, with ``slack`` headroom so
+    Remap-D has non-sender pairs to receive tasks.
+    """
+    rows = base.crossbar.rows
+    cols = base.crossbar.cols
+    needed = 0
+    for _, module in model.named_modules():
+        if isinstance(module, (Conv2d, Linear)):
+            out_dim, in_dim = module.matrix_shape
+            fr, fc = blocks_needed(in_dim, out_dim, rows, cols)
+            br, bc = blocks_needed(out_dim, in_dim, rows, cols)
+            needed += fr * fc + br * bc
+    if needed == 0:
+        raise ValueError("model has no MVM layers")
+    target_pairs = int(math.ceil(needed * slack))
+    pairs_per_unit = base.num_tiles * base.imas_per_tile  # pairs per cpi=2
+    cpi = 2 * max(1, math.ceil(target_pairs / pairs_per_unit))
+    return replace(base, crossbars_per_ima=cpi)
+
+
+def inject_phase_faults(
+    ctx: ExperimentContext,
+    phase: str,
+    density: float,
+    clustered: bool = True,
+) -> int:
+    """Inject ``density`` faults into every crossbar of one phase's copies.
+
+    This is the Fig. 5 experiment: stress the forward *or* the backward
+    copies in isolation and observe the training accuracy.  Returns the
+    number of cells stuck.
+    """
+    rng = ctx.rng_hub.stream("phase-faults")
+    sa0_p = ctx.config.faults.sa0_probability()
+    total = 0
+    for mapping in ctx.engine.all_mappings():
+        if mapping.phase != phase:
+            continue
+        for _, _, pair_id in mapping.iter_blocks():
+            pair = ctx.chip.pair(pair_id)
+            for fmap in (pair.pos.fault_map, pair.neg.fault_map):
+                count = int(round(density * fmap.cells))
+                forbidden = np.flatnonzero(fmap.faulty_mask.ravel())
+                if clustered:
+                    cells = clustered_cells(
+                        rng, fmap.rows, fmap.cols, count, forbidden=forbidden
+                    )
+                else:
+                    cells = uniform_cells(
+                        rng, fmap.rows, fmap.cols, count, forbidden=forbidden
+                    )
+                is_sa0 = rng.random(cells.size) < sa0_p
+                total += fmap.inject(cells[is_sa0], FaultType.SA0)
+                total += fmap.inject(cells[~is_sa0], FaultType.SA1)
+    ctx.chip.bump_fault_version()
+    return total
+
+
+def build_experiment(
+    config: ExperimentConfig, logger: RunLogger | None = None
+) -> ExperimentContext:
+    """Construct the full experiment stack (no training yet)."""
+    hub = RngHub(config.seed)
+    tc = config.train
+    dataset = make_dataset(
+        tc.dataset, tc.n_train, tc.n_test, tc.image_size, hub.stream("data")
+    )
+    model = build_model(
+        tc.model, dataset.num_classes, tc.width_mult, hub.stream("init")
+    )
+    chip = Chip(size_chip_for_model(model, config.chip))
+    engine = CrossbarEngine(chip).bind(model)
+    injector = FaultInjector(config.faults, hub.stream("faults"))
+    policy = make_policy(config.policy, config.policy_param, config.remap_threshold)
+    trainer = Trainer(model, dataset, tc, hub.stream("train"), logger)
+    if config.variation is not None:
+        engine.set_variation(config.variation, hub.stream("variation"))
+    ctx = ExperimentContext(
+        config=config,
+        rng_hub=hub,
+        dataset=dataset,
+        model=model,
+        chip=chip,
+        engine=engine,
+        injector=injector,
+        policy=policy,
+        trainer=trainer,
+        pair_density_est=np.zeros(chip.num_pairs),
+    )
+    faults_active = not policy.disable_faults
+    if faults_active and config.faults.pre_enabled:
+        injector.inject_pre_deployment(chip.fault_maps)
+        chip.bump_fault_version()
+    if faults_active and config.faults.phase_target is not None:
+        inject_phase_faults(
+            ctx, config.faults.phase_target, config.faults.phase_density
+        )
+    policy.setup(ctx)
+    return ctx
+
+
+def run_experiment(
+    config: ExperimentConfig, logger: RunLogger | None = None
+) -> ExperimentResult:
+    """Build and run one experiment end to end."""
+    t0 = time.perf_counter()
+    ctx = build_experiment(config, logger)
+    policy = ctx.policy
+    chip = ctx.chip
+    faults_active = not policy.disable_faults
+    bist_rng = ctx.rng_hub.stream("bist")
+
+    def on_epoch_end(epoch: int, trainer: Trainer) -> None:
+        # Weight updates this epoch wrote every mapped crossbar once per
+        # batch — that wear drives where endurance faults strike next.
+        chip.record_update_writes(trainer.num_batches())
+        if faults_active and ctx.config.faults.post_enabled:
+            ctx.injector.inject_post_epoch(chip.fault_maps, chip.wear, epoch)
+            chip.bump_fault_version()
+        if policy.uses_bist:
+            densities = scan_chip(chip, bist_rng)
+            ctx.pair_density_est = pair_density_estimates(chip, densities)
+            ctx.bist_scans += 1
+        policy.on_epoch_end(ctx, epoch)
+
+    train_result = ctx.trainer.fit(on_epoch_end=on_epoch_end)
+    pair_densities = chip.true_pair_densities()
+    return ExperimentResult(
+        policy=policy.name,
+        model=config.train.model,
+        dataset=config.train.dataset,
+        train_result=train_result,
+        final_accuracy=train_result.final_accuracy,
+        best_accuracy=train_result.best_accuracy,
+        num_remaps=sum(plan.num_remaps for _, plan in ctx.remap_plans),
+        mean_chip_density=float(pair_densities.mean()),
+        max_pair_density=float(pair_densities.max()),
+        wall_seconds=time.perf_counter() - t0,
+    )

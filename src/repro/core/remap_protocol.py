@@ -1,0 +1,239 @@
+"""The dynamic remapping protocol of Fig. 3.
+
+At the end of each epoch, with BIST density estimates in hand:
+
+1. every task whose crossbar-pair density exceeds the trigger threshold
+   *and* whose task is fault-critical (backward phase, unless phase
+   priority is disabled) becomes a **sender** and broadcasts a remap
+   request to all tiles (XY-tree multicast);
+2. every non-sender task satisfying the receive conditions — lower fault
+   density than the sender and a more fault-tolerant task — **responds**;
+3. each sender picks the **nearest** responder (NoC hop count) and the
+   two tasks exchange their physical crossbar pairs.
+
+Senders are served most-faulty-first; each receiver task is consumed at
+most once per epoch.  The planner is pure (no hardware mutation);
+``execute`` applies the swaps to the chip, and the returned plan carries
+everything the NoC overhead study needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.tasks import Task
+from repro.reram.chip import Chip
+
+__all__ = ["IdleSlot", "RemapDecision", "RemapPlan", "RemapProtocol"]
+
+RECEIVER_RULES = ("nearest", "lowest-density", "random")
+
+
+@dataclass(frozen=True)
+class IdleSlot:
+    """A receiver-side crossbar pair that currently hosts no task.
+
+    Idle pairs are ordinary on-chip crossbars (the paper's "already
+    available crossbars"); moving a critical task onto one harms nothing,
+    so an idle pair is maximally fault-tolerant (rank 2, above forward
+    tasks' rank 1).
+    """
+
+    pair_id: int
+
+    #: rank above every real task phase.
+    tolerance_rank: int = 2
+
+    @property
+    def name(self) -> str:
+        return f"idle[{self.pair_id}]"
+
+
+@dataclass(frozen=True)
+class RemapDecision:
+    """One sender-receiver match."""
+
+    sender: Task
+    receiver: "Task | IdleSlot"
+    sender_tile: int
+    receiver_tile: int
+    hops: int
+    sender_density: float
+    receiver_density: float
+
+
+@dataclass
+class RemapPlan:
+    """Everything one epoch's remap phase decided and would transmit."""
+
+    decisions: list[RemapDecision] = field(default_factory=list)
+    #: tiles that broadcast a request (senders with >= 1 triggering task).
+    sender_tiles: list[int] = field(default_factory=list)
+    #: sender tile -> responding tiles (for the NoC response phase).
+    responders: dict[int, list[int]] = field(default_factory=dict)
+    #: sender tile -> matched receiver tile (weight-exchange phase).
+    matches: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def num_remaps(self) -> int:
+        return len(self.decisions)
+
+    def total_hops(self) -> int:
+        return sum(d.hops for d in self.decisions)
+
+
+class RemapProtocol:
+    """Plans and executes Remap-D's per-epoch task exchanges."""
+
+    def __init__(
+        self,
+        chip: Chip,
+        threshold: float = 0.002,
+        phase_priority: bool = True,
+        require_lower_density: bool = True,
+        receiver_rule: str = "nearest",
+        rng: np.random.Generator | None = None,
+    ):
+        if not (0.0 <= threshold <= 1.0):
+            raise ValueError("threshold must lie in [0, 1]")
+        if receiver_rule not in RECEIVER_RULES:
+            raise ValueError(f"receiver_rule must be one of {RECEIVER_RULES}")
+        self.chip = chip
+        self.threshold = threshold
+        self.phase_priority = phase_priority
+        self.require_lower_density = require_lower_density
+        self.receiver_rule = receiver_rule
+        self.rng = rng or np.random.default_rng(0)
+
+    # ------------------------------------------------------------------ #
+    def plan(
+        self,
+        tasks: list[Task],
+        pair_density: np.ndarray,
+        idle_pairs: list[int] | None = None,
+    ) -> RemapPlan:
+        """Compute this epoch's sender/receiver matches.
+
+        ``pair_density`` holds the BIST *estimates* per pair id — the
+        protocol never sees ground truth.  ``idle_pairs`` are on-chip
+        pairs hosting no task; they participate as (preferred) receivers.
+        """
+        plan = RemapPlan()
+        senders = [
+            t for t in tasks
+            if pair_density[t.pair_id] > self.threshold
+            and (not self.phase_priority or t.tolerance_rank == 0)
+        ]
+        if not senders:
+            return plan
+        # Most-faulty senders are served first (they have the most to gain
+        # and the fewest viable receivers).
+        senders.sort(key=lambda t: (-pair_density[t.pair_id], t.pair_id))
+        sender_ids = {id(t) for t in senders}
+        receivers: list[Task | IdleSlot] = [
+            t for t in tasks if id(t) not in sender_ids
+        ]
+        receivers.extend(IdleSlot(pid) for pid in (idle_pairs or []))
+
+        used_receivers: set[int] = set()
+        for sender in senders:
+            s_density = float(pair_density[sender.pair_id])
+            s_tile = self.chip.tile_of_pair(sender.pair_id)
+            candidates = []
+            settled = []  # receivers below the trigger threshold
+            for r in receivers:
+                if id(r) in used_receivers:
+                    continue
+                r_density = float(pair_density[r.pair_id])
+                if self.require_lower_density and r_density >= s_density:
+                    continue
+                if self.phase_priority and r.tolerance_rank <= sender.tolerance_rank:
+                    continue
+                candidates.append((r, r_density))
+                if r_density <= self.threshold:
+                    settled.append((r, r_density))
+            # Hysteresis: prefer receivers *below the trigger threshold* so
+            # a remapped task settles there and never re-triggers ("to
+            # prevent frequent remapping" — Section III.B.4).  Hopping to
+            # a merely-lower-density pair every epoch would smear fault
+            # damage over fresh weight positions at each hop.
+            if settled:
+                candidates = settled
+            if not candidates:
+                continue
+            chosen, r_density = self._choose(s_tile, candidates)
+            r_tile = self.chip.tile_of_pair(chosen.pair_id)
+            hops = self.chip.hop_count(s_tile, r_tile)
+            used_receivers.add(id(chosen))
+            plan.decisions.append(
+                RemapDecision(
+                    sender=sender,
+                    receiver=chosen,
+                    sender_tile=s_tile,
+                    receiver_tile=r_tile,
+                    hops=hops,
+                    sender_density=s_density,
+                    receiver_density=r_density,
+                )
+            )
+            if s_tile not in plan.sender_tiles:
+                plan.sender_tiles.append(s_tile)
+            responding_tiles = sorted(
+                {self.chip.tile_of_pair(r.pair_id) for r, _ in candidates}
+            )
+            plan.responders.setdefault(s_tile, responding_tiles)
+            plan.matches[s_tile] = r_tile
+        return plan
+
+    def _choose(
+        self, sender_tile: int, candidates: list[tuple["Task | IdleSlot", float]]
+    ) -> tuple["Task | IdleSlot", float]:
+        """Pick the receiver according to the configured rule.
+
+        Idle crossbar pairs always outrank task-hosting receivers: an
+        exchange with a working forward task pushes the sender's faults
+        onto that task, while a move to an idle pair harms nothing.  Among
+        receivers of the same kind, proximity (NoC hop count) decides, as
+        in Fig. 3.
+        """
+        if self.receiver_rule == "nearest":
+            return min(
+                candidates,
+                key=lambda c: (
+                    isinstance(c[0], Task),
+                    self.chip.hop_count(sender_tile, self.chip.tile_of_pair(c[0].pair_id)),
+                    c[1],
+                    c[0].pair_id,
+                ),
+            )
+        if self.receiver_rule == "lowest-density":
+            return min(
+                candidates,
+                key=lambda c: (isinstance(c[0], Task), c[1], c[0].pair_id),
+            )
+        index = int(self.rng.integers(0, len(candidates)))
+        return candidates[index]
+
+    # ------------------------------------------------------------------ #
+    def execute(self, plan: RemapPlan) -> int:
+        """Apply all planned remaps to the chip; returns the remap count.
+
+        A task receiver means a weight *exchange* between the two pairs;
+        an idle receiver means a one-way move (the sender pair becomes
+        idle and available for later epochs).
+        """
+        for d in plan.decisions:
+            if isinstance(d.receiver, IdleSlot):
+                self.chip.move_task(
+                    d.sender.mapping, d.sender.block, d.receiver.pair_id
+                )
+            else:
+                self.chip.swap_tasks(
+                    d.sender.mapping,
+                    d.sender.block,
+                    d.receiver.mapping,
+                    d.receiver.block,
+                )
+        return plan.num_remaps

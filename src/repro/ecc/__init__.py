@@ -1,0 +1,13 @@
+"""Arithmetic error-correcting codes for crossbar MVM outputs.
+
+Implements the AN-code scheme of Feinberg et al. (HPCA 2018), the paper's
+primary ECC baseline: operands are multiplied by a constant ``A`` before
+being stored, which makes every valid dot-product output a multiple of
+``A``; residues expose (and, within a bounded magnitude, correct) analog
+computation errors.  The baseline costs 6.3% area and loses effectiveness
+once a crossbar's fault density exceeds the code's correction capability.
+"""
+
+from repro.ecc.an_code import ANCode, CorrectionStats, column_correctable_mask
+
+__all__ = ["ANCode", "CorrectionStats", "column_correctable_mask"]

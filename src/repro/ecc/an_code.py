@@ -1,0 +1,134 @@
+"""AN arithmetic codes.
+
+An AN code encodes an integer ``x`` as ``A * x``.  The code is homomorphic
+under addition — ``A*x + A*y = A*(x + y)`` — which is what makes it usable
+for crossbar dot products: if every stored weight is pre-multiplied by
+``A``, a fault-free column output is always a multiple of ``A``, and the
+residue ``y mod A`` is a syndrome of the analog error.
+
+Correction works for errors of bounded magnitude: if the injected error
+``e`` satisfies ``|e| <= t`` with ``2*t < A``, the residue identifies ``e``
+uniquely and the decoder restores the exact value.  Larger errors (many
+faulty cells contributing to one column) alias to a wrong codeword — the
+failure mode the paper exploits in Section IV.C: AN codes cannot protect
+the high-density crossbars of a non-uniform fault distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.faults.types import FaultMap
+
+__all__ = ["ANCode", "CorrectionStats", "column_correctable_mask"]
+
+#: area overhead of the AN-code datapath reported by Feinberg et al.
+AN_CODE_AREA_OVERHEAD = 0.063
+
+
+@dataclass
+class CorrectionStats:
+    """Tally of decode outcomes across a run."""
+
+    clean: int = 0
+    corrected: int = 0
+    uncorrectable: int = 0
+    miscorrected: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.clean + self.corrected + self.uncorrectable + self.miscorrected
+
+
+class ANCode:
+    """AN code with constant ``A`` and correction radius ``t``.
+
+    Parameters
+    ----------
+    a:
+        The code constant.  Odd values co-prime with small errors work
+        best; the classic choice for memristive accelerators is a prime
+        close to a power of two (e.g. 251) so the multiply is cheap.
+    t:
+        Correction radius — the largest error magnitude the decoder
+        attempts to remove.  Must satisfy ``2*t < a`` for unambiguous
+        correction.
+    """
+
+    def __init__(self, a: int = 251, t: int | None = None):
+        if a < 3:
+            raise ValueError("A must be at least 3")
+        self.a = int(a)
+        self.t = int(t) if t is not None else (self.a - 1) // 2
+        if 2 * self.t >= self.a:
+            raise ValueError("correction radius requires 2*t < A")
+
+    # ------------------------------------------------------------------ #
+    # codec
+    # ------------------------------------------------------------------ #
+    def encode(self, values: np.ndarray) -> np.ndarray:
+        """Encode integers: x -> A*x."""
+        values = np.asarray(values)
+        if not np.issubdtype(values.dtype, np.integer):
+            raise TypeError("AN codes operate on integer values")
+        return values.astype(np.int64) * self.a
+
+    def syndrome(self, received: np.ndarray) -> np.ndarray:
+        """Symmetric residue mod A in (-A/2, A/2]; zero means clean."""
+        received = np.asarray(received, dtype=np.int64)
+        res = np.mod(received, self.a)
+        return np.where(res > self.a // 2, res - self.a, res)
+
+    def decode(
+        self, received: np.ndarray, stats: CorrectionStats | None = None
+    ) -> np.ndarray:
+        """Decode (and correct when possible): A*x + e -> x.
+
+        Errors with ``|e| <= t`` are removed exactly.  Errors beyond the
+        radius leave a corrupted value: the decoder still removes the
+        *residue* (returning the nearest codeword), which is precisely the
+        silent miscorrection a saturated AN code suffers.
+        """
+        received = np.asarray(received, dtype=np.int64)
+        syn = self.syndrome(received)
+        corrected = (received - syn) // self.a
+        if stats is not None:
+            stats.clean += int(np.count_nonzero(syn == 0))
+            stats.corrected += int(np.count_nonzero((syn != 0) & (np.abs(syn) <= self.t)))
+            stats.miscorrected += int(np.count_nonzero(np.abs(syn) > self.t))
+        return corrected
+
+    def is_correctable(self, error_magnitude: np.ndarray) -> np.ndarray:
+        """Whether an injected error of given magnitude decodes exactly.
+
+        Exact decode requires the error to be identifiable from its
+        residue: ``|e| <= t`` and ``e`` not a multiple of ``A`` aliasing
+        to another codeword (|e| < A/2 guarantees this given 2t < A).
+        """
+        e = np.abs(np.asarray(error_magnitude, dtype=np.int64))
+        return e <= self.t
+
+    def __repr__(self) -> str:
+        return f"ANCode(A={self.a}, t={self.t})"
+
+
+def column_correctable_mask(
+    fault_map: FaultMap,
+    per_column_capacity: int = 1,
+) -> np.ndarray:
+    """Which stuck cells an AN-code-protected crossbar can neutralise.
+
+    Behavioural bridge between the codec above and the training simulator:
+    a column whose stuck-cell count is within the code's correction
+    capability produces output errors inside the correction radius, so all
+    of that column's faults are effectively cancelled; a column with more
+    stuck cells saturates the code and keeps *all* its faults.  Returns a
+    boolean mask (same shape as the fault map) of the cancelled cells.
+    """
+    if per_column_capacity < 0:
+        raise ValueError("per_column_capacity must be non-negative")
+    column_counts = np.count_nonzero(fault_map.faulty_mask, axis=0)
+    ok_columns = column_counts <= per_column_capacity
+    return fault_map.faulty_mask & ok_columns[None, :]

@@ -1,0 +1,122 @@
+"""Write-endurance tracking and endurance-driven failure modelling.
+
+CNN training performs a weight update every batch, and each update writes
+every crossbar that stores the updated layer's weights.  Crossbars that are
+written more often wear out faster, which is what makes the post-deployment
+fault distribution non-uniform.  :class:`WearTracker` keeps per-crossbar
+write counts; :class:`EnduranceModel` converts accumulated writes into
+per-epoch cell-failure probabilities for the endurance-driven injection
+mode (the paper's fixed ``(m, n)`` regime is in `repro.faults.injector`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["WearTracker", "EnduranceModel"]
+
+
+class WearTracker:
+    """Per-crossbar accumulated write counts.
+
+    The tracker is indexed by physical crossbar id (0..num_crossbars-1).
+    """
+
+    def __init__(self, num_crossbars: int):
+        if num_crossbars <= 0:
+            raise ValueError("num_crossbars must be positive")
+        self.writes = np.zeros(num_crossbars, dtype=np.int64)
+
+    @property
+    def num_crossbars(self) -> int:
+        return self.writes.size
+
+    def record(self, crossbar_ids: np.ndarray | list[int], count: int = 1) -> None:
+        """Add ``count`` writes to each listed crossbar."""
+        if count < 0:
+            raise ValueError("write count must be non-negative")
+        ids = np.asarray(crossbar_ids, dtype=np.int64)
+        if ids.size == 0:
+            return
+        if ids.min() < 0 or ids.max() >= self.writes.size:
+            raise IndexError("crossbar id out of range")
+        np.add.at(self.writes, ids, count)
+
+    def selection_weights(self, bias: float = 1.0) -> np.ndarray:
+        """Probability weights for wear-weighted fault-target selection.
+
+        Crossbars with more writes get proportionally higher weight;
+        ``bias`` exponentiates the skew (1.0 = proportional).  A uniform
+        floor of one write is applied so unwritten crossbars can still fail
+        (background defect activation).
+        """
+        if bias < 0:
+            raise ValueError("bias must be non-negative")
+        w = (self.writes.astype(np.float64) + 1.0) ** bias
+        return w / w.sum()
+
+    def copy(self) -> "WearTracker":
+        clone = WearTracker(self.num_crossbars)
+        clone.writes = self.writes.copy()
+        return clone
+
+
+class EnduranceModel:
+    """Lognormal cell-endurance model (Grossi et al. style).
+
+    Each cell's endurance (number of write cycles before it sticks) is
+    lognormally distributed around ``mean_cycles``.  Rather than sampling a
+    lifetime per cell (memory-heavy), the model exposes the *incremental*
+    failure probability for a crossbar that moves from ``w0`` to ``w1``
+    accumulated writes — the hazard over one epoch — which the injector
+    multiplies by the cell count to get an expected number of new faults.
+    """
+
+    def __init__(self, mean_cycles: float = 1e6, sigma: float = 0.8):
+        if mean_cycles <= 0:
+            raise ValueError("mean_cycles must be positive")
+        if sigma <= 0:
+            raise ValueError("sigma must be positive")
+        self.mean_cycles = float(mean_cycles)
+        self.sigma = float(sigma)
+        self._mu = np.log(self.mean_cycles)
+
+    def failure_cdf(self, writes: np.ndarray | float) -> np.ndarray:
+        """P(cell has failed by ``writes`` write cycles)."""
+        w = np.asarray(writes, dtype=np.float64)
+        out = np.zeros_like(w)
+        positive = w > 0
+        z = (np.log(np.maximum(w, 1e-300)) - self._mu) / self.sigma
+        # Standard normal CDF via erf.
+        cdf = 0.5 * (1.0 + _erf(z / np.sqrt(2.0)))
+        out[positive] = cdf[positive]
+        return out
+
+    def incremental_failure_prob(
+        self, writes_before: np.ndarray, writes_after: np.ndarray
+    ) -> np.ndarray:
+        """P(cell fails in (w0, w1] | alive at w0) for each crossbar."""
+        w0 = np.asarray(writes_before, dtype=np.float64)
+        w1 = np.asarray(writes_after, dtype=np.float64)
+        if np.any(w1 < w0):
+            raise ValueError("writes_after must be >= writes_before")
+        c0 = self.failure_cdf(w0)
+        c1 = self.failure_cdf(w1)
+        survivors = np.maximum(1.0 - c0, 1e-12)
+        return np.clip((c1 - c0) / survivors, 0.0, 1.0)
+
+
+def _erf(x: np.ndarray) -> np.ndarray:
+    """Vectorised error function (Abramowitz & Stegun 7.1.26, |err|<1.5e-7).
+
+    Implemented locally to avoid importing scipy in the core library.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    sign = np.sign(x)
+    ax = np.abs(x)
+    t = 1.0 / (1.0 + 0.3275911 * ax)
+    poly = t * (
+        0.254829592
+        + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429)))
+    )
+    return sign * (1.0 - poly * np.exp(-ax * ax))

@@ -1,0 +1,56 @@
+"""From-scratch NumPy CNN training framework (the PytorX substitute).
+
+A small reverse-mode autograd engine (`repro.nn.tensor`), the usual CNN
+layers (`repro.nn.layers`), the six CNN architectures of the paper
+(`repro.nn.models`), SGD with momentum (`repro.nn.optim`), synthetic
+CIFAR-10/100- and SVHN-like datasets (`repro.nn.data`), a training loop
+(`repro.nn.trainer`) and — the piece that makes it an RCS simulator —
+crossbar-backed convolution/linear layers whose forward and backward
+matrix products read stuck-at-clamped weights from the simulated chip
+(`repro.nn.fault_aware`).
+"""
+
+from repro.nn.tensor import Tensor
+from repro.nn.layers import (
+    Module,
+    Parameter,
+    Conv2d,
+    Linear,
+    BatchNorm2d,
+    ReLU,
+    MaxPool2d,
+    AvgPool2d,
+    GlobalAvgPool2d,
+    Flatten,
+    Sequential,
+)
+from repro.nn.models import build_model, MODEL_NAMES
+from repro.nn.optim import SGD, cosine_lr
+from repro.nn.data import make_dataset, DATASET_NAMES, SyntheticDataset
+from repro.nn.trainer import Trainer, TrainResult
+from repro.nn.fault_aware import CrossbarEngine
+
+__all__ = [
+    "Tensor",
+    "Module",
+    "Parameter",
+    "Conv2d",
+    "Linear",
+    "BatchNorm2d",
+    "ReLU",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "Flatten",
+    "Sequential",
+    "build_model",
+    "MODEL_NAMES",
+    "SGD",
+    "cosine_lr",
+    "make_dataset",
+    "DATASET_NAMES",
+    "SyntheticDataset",
+    "Trainer",
+    "TrainResult",
+    "CrossbarEngine",
+]

@@ -1,0 +1,225 @@
+"""Binding CNN layers to simulated crossbar hardware.
+
+:class:`CrossbarEngine` is the bridge between the NumPy training framework
+and the RCS chip model.  ``bind(model)`` allocates, for every Conv2d and
+Linear layer, two crossbar copies on the chip:
+
+* a **forward copy** storing ``W^T`` — read by the forward-pass MVM;
+* a **backward copy** storing ``W`` — read by the backward-pass MVM that
+  computes the input gradient ``dx = dy @ W``.
+
+Every MVM then sees the *stuck-at-clamped* weights of its copy, so faults
+on forward-phase crossbars perturb activations while faults on
+backward-phase crossbars corrupt gradients — physically independent
+failure modes, as on the real accelerator.
+
+Policies interact with the engine through **override masks**: a boolean
+mask (in the layer's ``(out, in)`` weight orientation) marking weight
+positions whose faults are neutralised — e.g. AN-code-corrected columns,
+or weights remapped to spare fault-free crossbars by Remap-WS/Remap-T.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.faults.variation import VariationModel
+from repro.nn.layers import Conv2d, Linear, Module
+from repro.reram.chip import Chip
+from repro.reram.mapping import LayerCopyMapping
+
+__all__ = ["CrossbarEngine"]
+
+
+class CrossbarEngine:
+    """Routes layer MVMs through the chip's (possibly faulty) crossbars."""
+
+    def __init__(self, chip: Chip):
+        self.chip = chip
+        #: layer key -> (forward copy, backward copy) mappings.
+        self.copies: dict[str, tuple[LayerCopyMapping, LayerCopyMapping]] = {}
+        #: layer key -> (fwd override, bwd override) boolean masks in the
+        #: stored-matrix orientation of each copy; None = no override.
+        self._overrides: dict[str, tuple[np.ndarray | None, np.ndarray | None]] = {}
+        #: if False, the engine passes weights through unclamped (ideal HW).
+        self.faults_enabled = True
+        #: optional analog non-ideality model (programming error + read
+        #: noise); None disables it.  Set together with variation_rng.
+        self.variation: VariationModel | None = None
+        self.variation_rng: np.random.Generator | None = None
+
+    # ------------------------------------------------------------------ #
+    # binding
+    # ------------------------------------------------------------------ #
+    def bind(self, model: Module) -> "CrossbarEngine":
+        """Allocate crossbar copies for every MVM layer of ``model``."""
+        for name, module in model.named_modules():
+            if isinstance(module, (Conv2d, Linear)):
+                out_dim, in_dim = module.matrix_shape
+                fwd = self.chip.allocate_layer_copy(
+                    f"{name}:fwd", "forward", (in_dim, out_dim)
+                )
+                bwd = self.chip.allocate_layer_copy(
+                    f"{name}:bwd", "backward", (out_dim, in_dim)
+                )
+                self.copies[name] = (fwd, bwd)
+                module.engine = self
+                module.layer_key = name
+        if not self.copies:
+            raise ValueError("model contains no Conv2d/Linear layers to bind")
+        return self
+
+    def unbind(self, model: Module) -> None:
+        """Detach the engine (layers fall back to ideal execution)."""
+        for _, module in model.named_modules():
+            if isinstance(module, (Conv2d, Linear)):
+                module.engine = None
+
+    # ------------------------------------------------------------------ #
+    # weight paths (called from the layers on every batch)
+    # ------------------------------------------------------------------ #
+    def forward_weight(self, key: str, w2d: np.ndarray) -> np.ndarray:
+        """Effective ``(out, in)`` weight as read by the forward MVM."""
+        if not self.faults_enabled:
+            return w2d
+        fwd, _ = self.copies[key]
+        eff = fwd.effective_matrix(w2d.T, self.chip.pair, self.chip.fault_version).T
+        override, _ = self._overrides.get(key, (None, None))
+        if override is not None:
+            eff = np.where(override, w2d, eff)
+        return self._apply_variation(eff)
+
+    def backward_weight(self, key: str, w2d: np.ndarray) -> np.ndarray:
+        """Effective ``(out, in)`` weight as read by the backward MVM."""
+        if not self.faults_enabled:
+            return w2d
+        _, bwd = self.copies[key]
+        eff = bwd.effective_matrix(w2d, self.chip.pair, self.chip.fault_version)
+        _, override = self._overrides.get(key, (None, None))
+        if override is not None:
+            eff = np.where(override, w2d, eff)
+        return self._apply_variation(eff)
+
+    def gradient_weight(self, key: str, grad2d: np.ndarray) -> np.ndarray:
+        """Effective ``(out, in)`` weight gradient after the backward MVM.
+
+        The backward phase computes the weight gradient on the same
+        backward-copy crossbars that hold ``W``; a stuck device therefore
+        pins the corresponding gradient entry at up to +-(gradient ADC
+        range).  This is the paper's accumulation mechanism: the pinned,
+        wrong gradient entries are applied at *every* weight update, so
+        the affected weights drift monotonically — which is why backward
+        faults are so much more damaging than forward faults (Fig. 5).
+        """
+        if not self.faults_enabled:
+            return grad2d
+        _, bwd = self.copies[key]
+        eff = bwd.effective_matrix(
+            grad2d, self.chip.pair, self.chip.fault_version, which="grad"
+        )
+        _, override = self._overrides.get(key, (None, None))
+        if override is not None:
+            eff = np.where(override, grad2d, eff)
+        return eff
+
+    def set_variation(
+        self, model: VariationModel, rng: np.random.Generator
+    ) -> None:
+        """Enable the analog non-ideality model for all weight reads."""
+        self.variation = model
+        self.variation_rng = rng
+
+    def _apply_variation(self, eff: np.ndarray) -> np.ndarray:
+        """Programming error + read noise on an effective weight matrix.
+
+        In-situ training reprograms the weights every update, so the
+        programming error is redrawn per read; read noise is cycle-to-
+        cycle by definition.
+        """
+        if self.variation is None or not self.variation.active:
+            return eff
+        assert self.variation_rng is not None
+        out = self.variation.apply_program_error(eff, self.variation_rng)
+        scale = float(np.abs(eff).max()) or 1.0
+        return self.variation.apply_read_noise(out, scale, self.variation_rng)
+
+    # ------------------------------------------------------------------ #
+    # in-situ range clipping
+    # ------------------------------------------------------------------ #
+    def clip_model_weights(self, model: Module) -> None:
+        """Clip every bound layer's weights to its programming range.
+
+        In-situ training has no hidden accumulator: the weight state *is*
+        the device conductances, which saturate at the calibrated range.
+        Without this clip, a weight driven by a pinned (faulty) gradient
+        would drift arbitrarily far in the digital master copy and leak
+        back as a huge value when the block is reprogrammed after a remap.
+        Called by the trainer after every optimiser step.
+        """
+        if not self.faults_enabled:
+            return
+        for _, module in model.named_modules():
+            if not isinstance(module, (Conv2d, Linear)) or not module.layer_key:
+                continue
+            fwd, bwd = self.copies[module.layer_key]
+            w2d = module.weight.data.reshape(module.matrix_shape)
+            limit = np.minimum(
+                self._scale_overlay(fwd, transpose=True),
+                self._scale_overlay(bwd, transpose=False),
+            )
+            np.clip(w2d, -limit, limit, out=w2d)
+
+    @staticmethod
+    def _scale_overlay(mapping, transpose: bool) -> np.ndarray:
+        """Per-weight programming-range limits in (out, in) orientation.
+
+        Blocks still awaiting calibration (NaN scale) impose no limit.
+        """
+        rows, cols = mapping.block_rows, mapping.block_cols
+        scales = np.where(np.isnan(mapping.scales), np.inf, mapping.scales)
+        overlay = np.repeat(np.repeat(scales, rows, axis=0), cols, axis=1)
+        overlay = overlay[: mapping.matrix_shape[0], : mapping.matrix_shape[1]]
+        return overlay.T if transpose else overlay
+
+    # ------------------------------------------------------------------ #
+    # policy hooks
+    # ------------------------------------------------------------------ #
+    def set_override(
+        self,
+        key: str,
+        fwd_mask: np.ndarray | None,
+        bwd_mask: np.ndarray | None,
+    ) -> None:
+        """Mark weight positions whose faults are neutralised.
+
+        Masks use the layer's ``(out, in)`` orientation; ``None`` clears
+        the override for that phase.
+        """
+        if key not in self.copies:
+            raise KeyError(f"unknown layer key {key!r}")
+        out_in = None
+        for mask in (fwd_mask, bwd_mask):
+            if mask is not None:
+                if mask.dtype != bool:
+                    raise TypeError("override masks must be boolean")
+                if out_in is None:
+                    out_in = mask.shape
+        self._overrides[key] = (fwd_mask, bwd_mask)
+
+    def clear_overrides(self) -> None:
+        self._overrides.clear()
+
+    # ------------------------------------------------------------------ #
+    # introspection for the controller / policies
+    # ------------------------------------------------------------------ #
+    def layer_keys(self) -> list[str]:
+        return list(self.copies)
+
+    def all_mappings(self) -> list[LayerCopyMapping]:
+        out: list[LayerCopyMapping] = []
+        for fwd, bwd in self.copies.values():
+            out.extend((fwd, bwd))
+        return out
+
+    def pairs_in_use(self) -> int:
+        return sum(m.num_blocks for m in self.all_mappings())

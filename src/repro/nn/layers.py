@@ -1,0 +1,347 @@
+"""CNN layers with explicit backward passes.
+
+Layers own :class:`Parameter` objects (plain arrays with a ``grad`` slot —
+the optimiser consumes these directly) and build autograd
+:class:`~repro.nn.tensor.Tensor` nodes in ``forward``.
+
+The two MVM layers (:class:`Conv2d`, :class:`Linear`) accept an optional
+crossbar ``engine`` (see :mod:`repro.nn.fault_aware`).  When bound, the
+weight matrix used in the *forward* product and the one used in the
+*backward* (input-gradient) product are read through the chip's forward /
+backward crossbar copies respectively, with stuck-at clamping applied —
+faults in the two training phases are therefore physically independent,
+as in the target RCS.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+__all__ = [
+    "Parameter",
+    "Module",
+    "Conv2d",
+    "Linear",
+    "BatchNorm2d",
+    "ReLU",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "Flatten",
+    "Sequential",
+]
+
+
+class Parameter:
+    """A trainable array with an accumulated gradient."""
+
+    def __init__(self, data: np.ndarray):
+        from repro.nn.tensor import get_default_dtype
+
+        self.data = np.asarray(data, dtype=get_default_dtype())
+        self.grad = np.zeros_like(self.data)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+    def __repr__(self) -> str:
+        return f"Parameter(shape={self.data.shape})"
+
+
+class Module:
+    """Base class: parameter/submodule discovery, train/eval mode."""
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # -- traversal ------------------------------------------------------ #
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for name, value in vars(self).items():
+            full = f"{prefix}.{name}" if prefix else name
+            if isinstance(value, Parameter):
+                yield full, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(full)
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_parameters(f"{full}.{i}")
+
+    def parameters(self) -> list[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        yield prefix, self
+        for name, value in vars(self).items():
+            full = f"{prefix}.{name}" if prefix else name
+            if isinstance(value, Module):
+                yield from value.named_modules(full)
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_modules(f"{full}.{i}")
+
+    # -- mode ------------------------------------------------------------ #
+    def train(self) -> "Module":
+        for _, m in self.named_modules():
+            m.training = True
+        return self
+
+    def eval(self) -> "Module":
+        for _, m in self.named_modules():
+            m.training = False
+        return self
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def num_parameters(self) -> int:
+        return sum(p.data.size for p in self.parameters())
+
+    def forward(self, x: Tensor) -> Tensor:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def __call__(self, x: Tensor) -> Tensor:
+        return self.forward(x)
+
+
+class Conv2d(Module):
+    """2-D convolution executed as an im2col matrix product (crossbar MVM)."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int = 3,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        rng = rng or np.random.default_rng(0)
+        fan_in = in_channels * kernel_size * kernel_size
+        bound = np.sqrt(2.0 / fan_in)  # He initialisation
+        self.weight = Parameter(
+            rng.normal(0.0, bound, size=(out_channels, in_channels, kernel_size, kernel_size))
+        )
+        self.bias = Parameter(np.zeros(out_channels)) if bias else None
+        #: set by CrossbarEngine.bind(); None means ideal digital execution.
+        self.engine = None
+        self.layer_key: str | None = None
+
+    @property
+    def matrix_shape(self) -> tuple[int, int]:
+        """(out, in) shape of the flattened MVM weight matrix."""
+        k = self.kernel_size
+        return (self.out_channels, self.in_channels * k * k)
+
+    def forward(self, x: Tensor) -> Tensor:
+        cols, oh, ow = F.im2col(
+            x.data, self.kernel_size, self.kernel_size, self.stride, self.padding
+        )
+        self.last_output_hw = (oh, ow)  # consumed by the traffic model
+        w2d = self.weight.data.reshape(self.out_channels, -1)
+        if self.engine is not None:
+            w_fwd = self.engine.forward_weight(self.layer_key, w2d)
+            w_bwd = self.engine.backward_weight(self.layer_key, w2d)
+        else:
+            w_fwd = w_bwd = w2d
+        y = cols @ w_fwd.T
+        if self.bias is not None:
+            y = y + self.bias.data
+        n = x.shape[0]
+        out_data = y.reshape(n, oh, ow, self.out_channels).transpose(0, 3, 1, 2)
+        weight, bias = self.weight, self.bias
+        x_shape = x.data.shape
+        ks, st, pd = self.kernel_size, self.stride, self.padding
+
+        def bwd(grad: np.ndarray) -> None:
+            gy = grad.transpose(0, 2, 3, 1).reshape(-1, self.out_channels)
+            dw2d = gy.T @ cols
+            if self.engine is not None:
+                dw2d = self.engine.gradient_weight(self.layer_key, dw2d)
+            weight.grad += dw2d.reshape(weight.data.shape)
+            if bias is not None:
+                bias.grad += gy.sum(axis=0)
+            if x.requires_grad:
+                dcols = gy @ w_bwd
+                x.accumulate_grad(F.col2im(dcols, x_shape, ks, ks, st, pd))
+
+        return Tensor(out_data, parents=(x,), backward=bwd)
+
+
+class Linear(Module):
+    """Fully-connected layer executed as a crossbar MVM."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        rng = rng or np.random.default_rng(0)
+        bound = np.sqrt(2.0 / in_features)
+        self.weight = Parameter(rng.normal(0.0, bound, size=(out_features, in_features)))
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+        self.engine = None
+        self.layer_key: str | None = None
+
+    @property
+    def matrix_shape(self) -> tuple[int, int]:
+        return (self.out_features, self.in_features)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 2:
+            raise ValueError("Linear expects (N, features) input; Flatten first")
+        w2d = self.weight.data
+        if self.engine is not None:
+            w_fwd = self.engine.forward_weight(self.layer_key, w2d)
+            w_bwd = self.engine.backward_weight(self.layer_key, w2d)
+        else:
+            w_fwd = w_bwd = w2d
+        out_data = x.data @ w_fwd.T
+        if self.bias is not None:
+            out_data = out_data + self.bias.data
+        weight, bias = self.weight, self.bias
+        x_data = x.data
+
+        def bwd(grad: np.ndarray) -> None:
+            dw2d = grad.T @ x_data
+            if self.engine is not None:
+                dw2d = self.engine.gradient_weight(self.layer_key, dw2d)
+            weight.grad += dw2d
+            if bias is not None:
+                bias.grad += grad.sum(axis=0)
+            if x.requires_grad:
+                x.accumulate_grad(grad @ w_bwd)
+
+        return Tensor(out_data, parents=(x,), backward=bwd)
+
+
+class BatchNorm2d(Module):
+    """Batch normalisation over (N, H, W) per channel.
+
+    Executed by the tile's digital functional units, which the paper (and
+    this simulator) treat as fault-free CMOS.
+    """
+
+    def __init__(self, channels: int, eps: float = 1e-5, momentum: float = 0.1):
+        super().__init__()
+        self.channels = channels
+        self.eps = eps
+        self.momentum = momentum
+        self.gamma = Parameter(np.ones(channels))
+        self.beta = Parameter(np.zeros(channels))
+        self.running_mean = np.zeros(channels)
+        self.running_var = np.ones(channels)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 4 or x.shape[1] != self.channels:
+            raise ValueError(
+                f"BatchNorm2d({self.channels}) got input of shape {x.shape}"
+            )
+        axes = (0, 2, 3)
+        if self.training:
+            mean = x.data.mean(axis=axes)
+            var = x.data.var(axis=axes)
+            self.running_mean += self.momentum * (mean - self.running_mean)
+            self.running_var += self.momentum * (var - self.running_var)
+        else:
+            mean, var = self.running_mean, self.running_var
+        std = np.sqrt(var + self.eps)
+        xhat = (x.data - mean[None, :, None, None]) / std[None, :, None, None]
+        out_data = (
+            self.gamma.data[None, :, None, None] * xhat
+            + self.beta.data[None, :, None, None]
+        )
+        gamma, beta = self.gamma, self.beta
+        m = x.data.shape[0] * x.data.shape[2] * x.data.shape[3]
+        training = self.training
+
+        def bwd(grad: np.ndarray) -> None:
+            gamma.grad += (grad * xhat).sum(axis=axes)
+            beta.grad += grad.sum(axis=axes)
+            if not x.requires_grad:
+                return
+            g = gamma.data[None, :, None, None]
+            if training:
+                mean_g = grad.mean(axis=axes, keepdims=True)
+                mean_gx = (grad * xhat).mean(axis=axes, keepdims=True)
+                dx = (g / std[None, :, None, None]) * (grad - mean_g - xhat * mean_gx)
+            else:
+                dx = (g / std[None, :, None, None]) * grad
+            x.accumulate_grad(dx)
+
+        return Tensor(out_data, parents=(x,), backward=bwd)
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.relu(x)
+
+
+class MaxPool2d(Module):
+    def __init__(self, kernel: int = 2):
+        super().__init__()
+        self.kernel = kernel
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.maxpool2d(x, self.kernel)
+
+
+class AvgPool2d(Module):
+    def __init__(self, kernel: int = 2):
+        super().__init__()
+        self.kernel = kernel
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.avgpool2d(x, self.kernel)
+
+
+class GlobalAvgPool2d(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.global_avgpool2d(x)
+
+
+class Flatten(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.reshape(x.shape[0], -1)
+
+
+class Sequential(Module):
+    """A chain of modules applied in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self.items = list(modules)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self.items:
+            x = module(x)
+        return x
+
+    def __iter__(self):
+        return iter(self.items)
+
+    def __len__(self) -> int:
+        return len(self.items)

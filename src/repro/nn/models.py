@@ -1,0 +1,249 @@
+"""The six CNN architectures of the paper, width-scalable.
+
+VGG-11/16/19 (Simonyan & Zisserman), ResNet-18 and the paper's ResNet-12
+(ResNet-18 minus six convolution layers), and SqueezeNet — all adapted to
+32x32 inputs the way the CIFAR literature does (3x3 stem, no initial
+downsampling, single-linear classifier), with a ``width_mult`` knob that
+scales every channel count so that NumPy-on-CPU training stays tractable.
+``width_mult=1.0`` reconstructs the paper-scale models.
+
+Batch normalisation is used in all models (including SqueezeNet, which
+historically lacks it) because training *from scratch* — the paper's
+setting — is unstable without it at these depths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.layers import (
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    GlobalAvgPool2d,
+    Linear,
+    MaxPool2d,
+    Module,
+    ReLU,
+    Sequential,
+)
+from repro.nn.tensor import Tensor
+
+__all__ = ["MODEL_NAMES", "build_model", "VGG", "ResNet", "SqueezeNet"]
+
+MODEL_NAMES = ("vgg11", "vgg16", "vgg19", "resnet12", "resnet18", "squeezenet")
+
+_VGG_CONFIGS: dict[str, list] = {
+    "vgg11": [64, "M", 128, "M", 256, 256, "M", 512, 512, "M", 512, 512, "M"],
+    "vgg16": [64, 64, "M", 128, 128, "M", 256, 256, 256, "M",
+              512, 512, 512, "M", 512, 512, 512, "M"],
+    "vgg19": [64, 64, "M", 128, 128, "M", 256, 256, 256, 256, "M",
+              512, 512, 512, 512, "M", 512, 512, 512, 512, "M"],
+}
+
+
+def _scaled(channels: int, width_mult: float) -> int:
+    """Scale a channel count, keeping at least 4 channels."""
+    return max(4, int(round(channels * width_mult)))
+
+
+class VGG(Module):
+    """VGG-style plain CNN with batch norm (CIFAR adaptation)."""
+
+    def __init__(
+        self,
+        config: list,
+        num_classes: int,
+        width_mult: float = 1.0,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        layers: list[Module] = []
+        in_ch = 3
+        for item in config:
+            if item == "M":
+                layers.append(MaxPool2d(2))
+            else:
+                out_ch = _scaled(int(item), width_mult)
+                layers.append(Conv2d(in_ch, out_ch, 3, padding=1, bias=False, rng=rng))
+                layers.append(BatchNorm2d(out_ch))
+                layers.append(ReLU())
+                in_ch = out_ch
+        self.features = Sequential(*layers)
+        self.pool = GlobalAvgPool2d()
+        self.classifier = Linear(in_ch, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.features(x)
+        x = self.pool(x)
+        return self.classifier(x)
+
+
+class BasicBlock(Module):
+    """Two 3x3 convolutions with identity (or projected) shortcut."""
+
+    def __init__(
+        self,
+        in_ch: int,
+        out_ch: int,
+        stride: int,
+        rng: np.random.Generator,
+    ):
+        super().__init__()
+        self.conv1 = Conv2d(in_ch, out_ch, 3, stride=stride, padding=1, bias=False, rng=rng)
+        self.bn1 = BatchNorm2d(out_ch)
+        self.conv2 = Conv2d(out_ch, out_ch, 3, padding=1, bias=False, rng=rng)
+        self.bn2 = BatchNorm2d(out_ch)
+        if stride != 1 or in_ch != out_ch:
+            self.shortcut: Module | None = Sequential(
+                Conv2d(in_ch, out_ch, 1, stride=stride, bias=False, rng=rng),
+                BatchNorm2d(out_ch),
+            )
+        else:
+            self.shortcut = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = F.relu(self.bn1(self.conv1(x)))
+        out = self.bn2(self.conv2(out))
+        skip = self.shortcut(x) if self.shortcut is not None else x
+        return F.relu(out + skip)
+
+
+class ResNet(Module):
+    """CIFAR-style ResNet with four stages of BasicBlocks.
+
+    ``blocks=[2, 2, 2, 2]`` is ResNet-18.  The paper's ResNet-12 removes
+    six convolution layers (three BasicBlocks): ``blocks=[1, 1, 1, 2]``.
+    """
+
+    def __init__(
+        self,
+        blocks: list[int],
+        num_classes: int,
+        width_mult: float = 1.0,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        widths = [_scaled(c, width_mult) for c in (64, 128, 256, 512)]
+        self.stem = Sequential(
+            Conv2d(3, widths[0], 3, padding=1, bias=False, rng=rng),
+            BatchNorm2d(widths[0]),
+            ReLU(),
+        )
+        stages: list[Module] = []
+        in_ch = widths[0]
+        for stage, (n_blocks, out_ch) in enumerate(zip(blocks, widths)):
+            for b in range(n_blocks):
+                stride = 2 if (stage > 0 and b == 0) else 1
+                stages.append(BasicBlock(in_ch, out_ch, stride, rng))
+                in_ch = out_ch
+        self.stages = Sequential(*stages)
+        self.pool = GlobalAvgPool2d()
+        self.classifier = Linear(in_ch, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.stem(x)
+        x = self.stages(x)
+        x = self.pool(x)
+        return self.classifier(x)
+
+
+class Fire(Module):
+    """SqueezeNet fire module: 1x1 squeeze, then 1x1 + 3x3 expand, concat."""
+
+    def __init__(
+        self,
+        in_ch: int,
+        squeeze: int,
+        expand1: int,
+        expand3: int,
+        rng: np.random.Generator,
+    ):
+        super().__init__()
+        self.squeeze = Conv2d(in_ch, squeeze, 1, bias=False, rng=rng)
+        self.bn_s = BatchNorm2d(squeeze)
+        self.expand1 = Conv2d(squeeze, expand1, 1, bias=False, rng=rng)
+        self.expand3 = Conv2d(squeeze, expand3, 3, padding=1, bias=False, rng=rng)
+        self.bn_e = BatchNorm2d(expand1 + expand3)
+
+    def forward(self, x: Tensor) -> Tensor:
+        s = F.relu(self.bn_s(self.squeeze(x)))
+        e = F.concat_channels([self.expand1(s), self.expand3(s)])
+        return F.relu(self.bn_e(e))
+
+    @property
+    def out_channels(self) -> int:
+        return self.expand1.out_channels + self.expand3.out_channels
+
+
+class SqueezeNet(Module):
+    """SqueezeNet v1.1-style network adapted to 32x32 inputs."""
+
+    def __init__(
+        self,
+        num_classes: int,
+        width_mult: float = 1.0,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        s = lambda c: _scaled(c, width_mult)  # noqa: E731 - local shorthand
+        stem_ch = s(64)
+        self.stem = Sequential(
+            Conv2d(3, stem_ch, 3, padding=1, bias=False, rng=rng),
+            BatchNorm2d(stem_ch),
+            ReLU(),
+            MaxPool2d(2),
+        )
+        fires: list[Module] = []
+        in_ch = stem_ch
+        plan = [
+            (16, 64, 64),
+            (16, 64, 64),
+            "M",
+            (32, 128, 128),
+            (32, 128, 128),
+            "M",
+            (48, 192, 192),
+            (64, 256, 256),
+        ]
+        for item in plan:
+            if item == "M":
+                fires.append(MaxPool2d(2))
+            else:
+                sq, e1, e3 = (s(c) for c in item)
+                fire = Fire(in_ch, sq, e1, e3, rng)
+                fires.append(fire)
+                in_ch = fire.out_channels
+        self.fires = Sequential(*fires)
+        # SqueezeNet classifies with a conv, not a linear layer.
+        self.head_conv = Conv2d(in_ch, num_classes, 1, rng=rng)
+        self.pool = GlobalAvgPool2d()
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.stem(x)
+        x = self.fires(x)
+        x = self.head_conv(x)
+        return self.pool(x)
+
+
+def build_model(
+    name: str,
+    num_classes: int = 10,
+    width_mult: float = 1.0,
+    rng: np.random.Generator | None = None,
+) -> Module:
+    """Construct one of the paper's six CNNs by name."""
+    name = name.lower()
+    if name in _VGG_CONFIGS:
+        return VGG(_VGG_CONFIGS[name], num_classes, width_mult, rng)
+    if name == "resnet18":
+        return ResNet([2, 2, 2, 2], num_classes, width_mult, rng)
+    if name == "resnet12":
+        return ResNet([1, 1, 1, 2], num_classes, width_mult, rng)
+    if name == "squeezenet":
+        return SqueezeNet(num_classes, width_mult, rng)
+    raise ValueError(f"unknown model {name!r}; choose from {MODEL_NAMES}")

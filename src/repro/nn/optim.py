@@ -1,0 +1,61 @@
+"""Optimisers and learning-rate schedules."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.nn.layers import Parameter
+
+__all__ = ["SGD", "cosine_lr"]
+
+
+class SGD:
+    """Stochastic gradient descent with momentum and weight decay."""
+
+    def __init__(
+        self,
+        parameters: list[Parameter],
+        lr: float = 0.05,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+    ):
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        if not (0.0 <= momentum < 1.0):
+            raise ValueError("momentum must lie in [0, 1)")
+        if weight_decay < 0:
+            raise ValueError("weight_decay must be non-negative")
+        self.parameters = list(parameters)
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        """Apply one update from the accumulated gradients."""
+        for p, v in zip(self.parameters, self._velocity):
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            v *= self.momentum
+            v += g
+            p.data -= self.lr * v
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.zero_grad()
+
+
+def cosine_lr(
+    base_lr: float, epoch: int, total_epochs: int, final_fraction: float = 0.1
+) -> float:
+    """Cosine decay from ``base_lr`` to ``base_lr * final_fraction``."""
+    if total_epochs <= 0:
+        raise ValueError("total_epochs must be positive")
+    if not (0.0 <= final_fraction <= 1.0):
+        raise ValueError("final_fraction must lie in [0, 1]")
+    t = min(max(epoch, 0), total_epochs) / total_epochs
+    floor = base_lr * final_fraction
+    return floor + (base_lr - floor) * 0.5 * (1.0 + math.cos(math.pi * t))

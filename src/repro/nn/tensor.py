@@ -1,0 +1,206 @@
+"""Minimal reverse-mode automatic differentiation over NumPy arrays.
+
+Only what CNN training needs: a :class:`Tensor` wrapping an ``ndarray``
+with a ``grad`` slot and a closure-based backward tape.  Layers construct
+tensors through the primitives here and in :mod:`repro.nn.functional`;
+``Tensor.backward()`` runs the tape in reverse topological order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+import numpy as np
+
+__all__ = ["Tensor", "get_default_dtype", "set_default_dtype"]
+
+#: float32 keeps NumPy training ~2x faster; tests that need numeric
+#: gradient checks switch to float64 via set_default_dtype.
+_DEFAULT_DTYPE = np.float32
+
+
+def get_default_dtype() -> np.dtype:
+    return np.dtype(_DEFAULT_DTYPE)
+
+
+def set_default_dtype(dtype) -> None:
+    """Set the dtype used by all new tensors (np.float32 or np.float64)."""
+    global _DEFAULT_DTYPE
+    dtype = np.dtype(dtype)
+    if dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+        raise ValueError("default dtype must be float32 or float64")
+    _DEFAULT_DTYPE = dtype.type
+
+
+class Tensor:
+    """An autograd node: value + gradient + backward closure."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        requires_grad: bool = False,
+        parents: tuple["Tensor", ...] = (),
+        backward: Callable[[np.ndarray], None] | None = None,
+        name: str = "",
+    ):
+        self.data = np.asarray(data, dtype=_DEFAULT_DTYPE)
+        self.requires_grad = requires_grad or any(p.requires_grad for p in parents)
+        self.grad: np.ndarray | None = None
+        self._parents = parents
+        self._backward = backward
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # shape helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    def numel(self) -> int:
+        return self.data.size
+
+    # ------------------------------------------------------------------ #
+    # autograd machinery
+    # ------------------------------------------------------------------ #
+    def accumulate_grad(self, grad: np.ndarray) -> None:
+        """Add an incoming gradient contribution (creating storage lazily)."""
+        if grad.shape != self.data.shape:
+            raise ValueError(
+                f"gradient shape {grad.shape} does not match tensor {self.data.shape}"
+            )
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Back-propagate from this tensor through the recorded tape."""
+        if not self.requires_grad:
+            raise RuntimeError("called backward() on a tensor that requires no grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("backward() without grad requires a scalar output")
+            grad = np.ones_like(self.data)
+        self.accumulate_grad(np.asarray(grad, dtype=self.data.dtype))
+
+        order = _topological_order(self)
+        for node in reversed(order):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    def detach(self) -> "Tensor":
+        """A new leaf tensor sharing the same data, cut from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    # ------------------------------------------------------------------ #
+    # basic arithmetic (enough for losses/tests; layers use functional.py)
+    # ------------------------------------------------------------------ #
+    def __add__(self, other: "Tensor") -> "Tensor":
+        other = _as_tensor(other)
+        out_data = self.data + other.data
+        parents = (self, other)
+
+        def bwd(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self.accumulate_grad(_unbroadcast(grad, self.data.shape))
+            if other.requires_grad:
+                other.accumulate_grad(_unbroadcast(grad, other.data.shape))
+
+        return Tensor(out_data, parents=parents, backward=bwd)
+
+    def __mul__(self, other: "Tensor") -> "Tensor":
+        other = _as_tensor(other)
+        out_data = self.data * other.data
+        parents = (self, other)
+
+        def bwd(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self.accumulate_grad(_unbroadcast(grad * other.data, self.data.shape))
+            if other.requires_grad:
+                other.accumulate_grad(_unbroadcast(grad * self.data, other.data.shape))
+
+        return Tensor(out_data, parents=parents, backward=bwd)
+
+    def __neg__(self) -> "Tensor":
+        def bwd(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self.accumulate_grad(-grad)
+
+        return Tensor(-self.data, parents=(self,), backward=bwd)
+
+    def __sub__(self, other: "Tensor") -> "Tensor":
+        return self + (-_as_tensor(other))
+
+    def sum(self) -> "Tensor":
+        def bwd(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self.accumulate_grad(np.broadcast_to(grad, self.data.shape).copy())
+
+        return Tensor(self.data.sum(keepdims=False), parents=(self,), backward=bwd)
+
+    def mean(self) -> "Tensor":
+        n = self.data.size
+
+        def bwd(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self.accumulate_grad(np.broadcast_to(grad / n, self.data.shape).copy())
+
+        return Tensor(self.data.mean(), parents=(self,), backward=bwd)
+
+    def reshape(self, *shape: int) -> "Tensor":
+        original = self.data.shape
+
+        def bwd(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self.accumulate_grad(grad.reshape(original))
+
+        return Tensor(self.data.reshape(*shape), parents=(self,), backward=bwd)
+
+    def __repr__(self) -> str:
+        tag = f" name={self.name!r}" if self.name else ""
+        return f"Tensor(shape={self.data.shape}, grad={self.requires_grad}{tag})"
+
+
+def _as_tensor(value) -> Tensor:
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(np.asarray(value, dtype=_DEFAULT_DTYPE))
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce a broadcast gradient back to the original operand shape."""
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad
+
+
+def _topological_order(root: Tensor) -> list[Tensor]:
+    """Iterative DFS topological sort (deep CNN graphs blow the recursion
+    limit with a recursive version)."""
+    order: list[Tensor] = []
+    visited: set[int] = set()
+    stack: list[tuple[Tensor, bool]] = [(root, False)]
+    while stack:
+        node, processed = stack.pop()
+        if processed:
+            order.append(node)
+            continue
+        if id(node) in visited:
+            continue
+        visited.add(id(node))
+        stack.append((node, True))
+        for parent in node._parents:
+            if id(parent) not in visited:
+                stack.append((parent, False))
+    return order

@@ -1,0 +1,129 @@
+"""Epoch-based training loop with per-epoch hooks.
+
+The hook is where the fault-tolerant-training controller plugs in: after
+every epoch it injects post-deployment faults, runs BIST and performs the
+policy's remapping — mirroring the paper's "remap at the end of each
+epoch, before the weights are updated for the next" schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.layers import Module
+from repro.nn.optim import SGD, cosine_lr
+from repro.nn.tensor import Tensor
+from repro.nn.data import SyntheticDataset
+from repro.utils.config import TrainConfig
+from repro.utils.logging import RunLogger
+
+__all__ = ["Trainer", "TrainResult"]
+
+
+@dataclass
+class TrainResult:
+    """Outcome of one training run."""
+
+    history: list[dict] = field(default_factory=list)
+    final_accuracy: float = 0.0
+    best_accuracy: float = 0.0
+
+    def accuracy_curve(self) -> list[float]:
+        return [h["test_acc"] for h in self.history]
+
+
+class Trainer:
+    """SGD training of a model on a synthetic dataset."""
+
+    def __init__(
+        self,
+        model: Module,
+        dataset: SyntheticDataset,
+        config: TrainConfig,
+        rng: np.random.Generator | None = None,
+        logger: RunLogger | None = None,
+    ):
+        self.model = model
+        self.dataset = dataset
+        self.config = config
+        self.rng = rng or np.random.default_rng(config.seed)
+        self.logger = logger
+        #: called after every optimiser step (the crossbar engine hooks
+        #: its in-situ range clipping here).
+        self.post_step = None
+        self.optimizer = SGD(
+            model.parameters(),
+            lr=config.lr,
+            momentum=config.momentum,
+            weight_decay=config.weight_decay,
+        )
+
+    # ------------------------------------------------------------------ #
+    def train_epoch(self, epoch: int) -> float:
+        """One pass over the training set; returns the mean loss."""
+        cfg = self.config
+        self.model.train()
+        self.optimizer.lr = cosine_lr(
+            cfg.lr, epoch, cfg.epochs, cfg.lr_final_fraction
+        )
+        x, y = self.dataset.x_train, self.dataset.y_train
+        order = self.rng.permutation(len(y))
+        losses: list[float] = []
+        for start in range(0, len(y), cfg.batch_size):
+            idx = order[start : start + cfg.batch_size]
+            xb = Tensor(x[idx], requires_grad=True)
+            logits = self.model(xb)
+            loss = F.softmax_cross_entropy(logits, y[idx])
+            self.optimizer.zero_grad()
+            loss.backward()
+            self.optimizer.step()
+            if self.post_step is not None:
+                self.post_step()
+            losses.append(float(loss.data))
+        return float(np.mean(losses))
+
+    def evaluate(self, x: np.ndarray | None = None, y: np.ndarray | None = None) -> float:
+        """Top-1 accuracy on the test split (or a supplied set)."""
+        if x is None:
+            x, y = self.dataset.x_test, self.dataset.y_test
+        assert y is not None
+        self.model.eval()
+        batch = max(self.config.batch_size, 64)
+        correct = 0
+        for start in range(0, len(y), batch):
+            xb = Tensor(x[start : start + batch])
+            logits = self.model(xb)
+            correct += int((logits.data.argmax(axis=1) == y[start : start + batch]).sum())
+        return correct / len(y)
+
+    def num_batches(self) -> int:
+        n = len(self.dataset.y_train)
+        return (n + self.config.batch_size - 1) // self.config.batch_size
+
+    def fit(
+        self,
+        on_epoch_end: Callable[[int, "Trainer"], None] | None = None,
+    ) -> TrainResult:
+        """Full training run with the per-epoch controller hook."""
+        result = TrainResult()
+        for epoch in range(self.config.epochs):
+            loss = self.train_epoch(epoch)
+            if on_epoch_end is not None:
+                on_epoch_end(epoch, self)
+            acc = self.evaluate()
+            result.history.append(
+                {"epoch": epoch, "loss": loss, "test_acc": acc, "lr": self.optimizer.lr}
+            )
+            if self.logger is not None:
+                self.logger.event("epoch", epoch=epoch, loss=loss, test_acc=acc)
+        if result.history:
+            # Smooth over the last two epochs: small-model training on a
+            # hard task is twitchy, and a single-epoch snapshot is noisy.
+            tail = [h["test_acc"] for h in result.history[-2:]]
+            result.final_accuracy = float(np.mean(tail))
+        result.best_accuracy = max((h["test_acc"] for h in result.history), default=0.0)
+        return result

@@ -1,0 +1,35 @@
+"""Cycle-level concentrated-mesh network-on-chip simulator.
+
+Substitute for the BookSim simulator the paper uses to measure the
+performance overhead of the remapping traffic.  The model is an
+output-queued, flit-level, cycle-accurate mesh with:
+
+* dimension-ordered (XY) unicast routing,
+* XY-tree multicast/broadcast (requests are replicated at branch routers,
+  never sent as repeated unicasts),
+* concentration (several tiles share one router — the c-mesh of ISAAC),
+* one flit per link per cycle with queueing contention.
+"""
+
+from repro.noc.topology import Mesh, CMesh
+from repro.noc.packet import MessageType, Packet, flits_for_bits
+from repro.noc.multicast import build_xy_tree
+from repro.noc.router import Router
+from repro.noc.simulator import NoCSimulator
+from repro.noc.traffic import TrainingTrafficModel, remap_phase_packets
+from repro.noc.stats import LinkStats, link_loads_for_packets
+
+__all__ = [
+    "Mesh",
+    "CMesh",
+    "MessageType",
+    "Packet",
+    "flits_for_bits",
+    "build_xy_tree",
+    "Router",
+    "NoCSimulator",
+    "TrainingTrafficModel",
+    "remap_phase_packets",
+    "LinkStats",
+    "link_loads_for_packets",
+]

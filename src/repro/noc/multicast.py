@@ -1,0 +1,89 @@
+"""XY-tree multicast construction.
+
+The remap request of Fig. 3(a) is broadcast to every tile.  Sending
+``N - 1`` unicasts would melt the network; instead the packet follows an
+*XY tree*: it travels east and west along the source's row (the trunk),
+and every trunk router forwards a copy north and south along its column
+(the branches).  Each link carries the packet exactly once, and the tree
+respects dimension-ordered routing, so it is deadlock-free alongside
+normal XY unicast traffic.
+"""
+
+from __future__ import annotations
+
+from repro.noc.topology import Mesh
+
+__all__ = ["build_xy_tree", "tree_links"]
+
+
+def build_xy_tree(
+    mesh: Mesh, src: int, targets: set[int] | None = None
+) -> dict[int, list[int]]:
+    """Build the XY multicast tree rooted at ``src``.
+
+    Returns a mapping ``router -> [child routers]`` covering every router
+    of the mesh (or, if ``targets`` is given, pruned to the routers needed
+    to reach all targets).  ``src`` is always part of the tree.
+    """
+    row, col = mesh.coords(src)
+    children: dict[int, list[int]] = {src: []}
+
+    # Trunk: east and west along the source row.
+    for step in (1, -1):
+        prev = src
+        c = col + step
+        while 0 <= c < mesh.cols:
+            node = mesh.router_at(row, c)
+            children.setdefault(prev, []).append(node)
+            children.setdefault(node, [])
+            prev = node
+            c += step
+
+    # Branches: north and south from every trunk router.
+    for c in range(mesh.cols):
+        trunk = mesh.router_at(row, c)
+        for step in (1, -1):
+            prev = trunk
+            r = row + step
+            while 0 <= r < mesh.rows:
+                node = mesh.router_at(r, c)
+                children.setdefault(prev, []).append(node)
+                children.setdefault(node, [])
+                prev = node
+                r += step
+
+    if targets is not None:
+        children = _prune(children, src, targets)
+    return children
+
+
+def _prune(
+    children: dict[int, list[int]], src: int, targets: set[int]
+) -> dict[int, list[int]]:
+    """Remove subtrees that contain no target router."""
+
+    def keep(node: int) -> bool:
+        kept_children = [c for c in children.get(node, []) if keep(c)]
+        children[node] = kept_children
+        return node in targets or bool(kept_children)
+
+    keep(src)
+    # Drop orphaned entries.
+    reachable: set[int] = set()
+
+    def visit(node: int) -> None:
+        reachable.add(node)
+        for c in children.get(node, []):
+            visit(c)
+
+    visit(src)
+    return {n: children[n] for n in reachable}
+
+
+def tree_links(children: dict[int, list[int]]) -> list[tuple[int, int]]:
+    """All directed links (parent, child) used by a multicast tree."""
+    links: list[tuple[int, int]] = []
+    for parent, kids in children.items():
+        for kid in kids:
+            links.append((parent, kid))
+    return links

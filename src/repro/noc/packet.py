@@ -1,0 +1,84 @@
+"""Packets, flits and message types for the NoC simulator."""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["MessageType", "Packet", "Flit", "flits_for_bits", "FLIT_BITS"]
+
+#: link width — bits carried by one flit in one cycle (ISAAC-style 128-bit).
+FLIT_BITS = 128
+
+
+class MessageType(enum.Enum):
+    """Traffic classes used by training and by the remap protocol."""
+
+    ACTIVATION = "activation"        # forward/backward layer traffic
+    REMAP_REQUEST = "remap_request"  # sender broadcast (Fig. 3a)
+    REMAP_RESPONSE = "remap_response"  # receiver unicast reply (Fig. 3b)
+    WEIGHT_TRANSFER = "weight_transfer"  # the actual remap payload (Fig. 3c)
+
+
+def flits_for_bits(bits: int, flit_bits: int = FLIT_BITS) -> int:
+    """Number of flits needed to carry a payload of ``bits`` bits."""
+    if bits <= 0:
+        raise ValueError("payload must be positive")
+    return max(1, math.ceil(bits / flit_bits))
+
+
+@dataclass
+class Packet:
+    """One network packet (unicast or tree-multicast).
+
+    For unicast, ``dest_routers`` has one entry and ``tree`` is None.
+    For multicast, ``tree`` maps each on-tree router to its child routers
+    (built by :func:`repro.noc.multicast.build_xy_tree`) and
+    ``dest_routers`` lists every delivery point.
+    """
+
+    pid: int
+    msg_type: MessageType
+    src_router: int
+    dest_routers: tuple[int, ...]
+    size_flits: int = 1
+    inject_cycle: int = 0
+    tree: dict[int, list[int]] | None = None
+    #: per-destination delivery cycle (filled in by the simulator).
+    delivered: dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.size_flits <= 0:
+            raise ValueError("size_flits must be positive")
+        if not self.dest_routers:
+            raise ValueError("packet needs at least one destination")
+        if self.tree is None and len(self.dest_routers) > 1:
+            raise ValueError("multi-destination packets require a multicast tree")
+
+    @property
+    def is_multicast(self) -> bool:
+        return self.tree is not None
+
+    @property
+    def complete(self) -> bool:
+        """All destinations have received the full packet."""
+        return all(d in self.delivered for d in self.dest_routers)
+
+    def latency(self) -> int:
+        """Cycles from injection to the *last* delivery."""
+        if not self.complete:
+            raise RuntimeError("packet not fully delivered yet")
+        return max(self.delivered.values()) - self.inject_cycle
+
+
+@dataclass(frozen=True)
+class Flit:
+    """One flit of a packet (``seq`` in [0, size_flits))."""
+
+    packet: Packet
+    seq: int
+
+    @property
+    def is_tail(self) -> bool:
+        return self.seq == self.packet.size_flits - 1

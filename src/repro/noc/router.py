@@ -1,0 +1,77 @@
+"""Output-queued NoC router model.
+
+Each router keeps one FIFO of flits per outgoing link.  Routing decisions
+are made on arrival (route computation folded into the enqueue):
+
+* unicast flits follow dimension-ordered XY routing;
+* multicast flits consult the packet's XY tree and are replicated into
+  the output queue of every child link (plus local delivery if this
+  router is a destination).
+
+The :class:`~repro.noc.simulator.NoCSimulator` drains one flit per link
+per cycle, which is where serialisation and contention arise.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.noc.packet import Flit, Packet
+from repro.noc.topology import Mesh
+
+__all__ = ["Router"]
+
+
+class Router:
+    """One mesh router (output-queued, XY routing, tree multicast)."""
+
+    def __init__(self, router_id: int, mesh: Mesh):
+        self.router_id = router_id
+        self.mesh = mesh
+        #: output FIFO per neighbouring router id.
+        self.out_queues: dict[int, deque[Flit]] = {
+            nbr: deque() for nbr in mesh.neighbors(router_id).values()
+        }
+        #: total flits forwarded through this router (for power/energy).
+        self.flits_forwarded = 0
+
+    def accept(self, flit: Flit, deliver) -> None:
+        """Process an arriving (or locally injected) flit.
+
+        ``deliver(packet, router_id)`` is the simulator callback invoked
+        when a flit of ``packet`` terminates at this router.
+        """
+        packet = flit.packet
+        if packet.is_multicast:
+            assert packet.tree is not None
+            if self.router_id in packet.dest_routers:
+                deliver(packet, self.router_id)
+            for child in packet.tree.get(self.router_id, []):
+                self._enqueue_toward(child, flit)
+        else:
+            dest = packet.dest_routers[0]
+            if dest == self.router_id:
+                deliver(packet, self.router_id)
+            else:
+                self._enqueue_toward(self.mesh.xy_next_hop(self.router_id, dest), flit)
+
+    def _enqueue_toward(self, next_router: int, flit: Flit) -> None:
+        if next_router not in self.out_queues:
+            raise ValueError(
+                f"router {self.router_id} has no link to {next_router} "
+                "(multicast tree edges must connect neighbours)"
+            )
+        self.out_queues[next_router].append(flit)
+        self.flits_forwarded += 1
+
+    def pending_flits(self) -> int:
+        """Flits currently queued at this router."""
+        return sum(len(q) for q in self.out_queues.values())
+
+    def pop_transfers(self) -> list[tuple[int, Flit]]:
+        """Pop at most one flit per outgoing link for this cycle."""
+        transfers: list[tuple[int, Flit]] = []
+        for next_router, queue in self.out_queues.items():
+            if queue:
+                transfers.append((next_router, queue.popleft()))
+        return transfers

@@ -1,0 +1,107 @@
+"""Mesh and concentrated-mesh (c-mesh) topologies.
+
+Routers are identified by ``router_id = row * cols + col``.  A c-mesh
+attaches ``concentration`` tiles to every router; tiles are identified by
+``tile_id`` with ``router_of(tile) = tile_id // concentration``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Mesh", "CMesh"]
+
+
+class Mesh:
+    """A 2-D mesh of routers with dimension-ordered (XY) routing."""
+
+    def __init__(self, rows: int, cols: int):
+        if rows <= 0 or cols <= 0:
+            raise ValueError("mesh dimensions must be positive")
+        self.rows = rows
+        self.cols = cols
+
+    @property
+    def num_routers(self) -> int:
+        return self.rows * self.cols
+
+    def coords(self, router_id: int) -> tuple[int, int]:
+        self._check(router_id)
+        return divmod(router_id, self.cols)
+
+    def router_at(self, row: int, col: int) -> int:
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise ValueError(f"coordinates ({row}, {col}) outside mesh")
+        return row * self.cols + col
+
+    def _check(self, router_id: int) -> None:
+        if not (0 <= router_id < self.num_routers):
+            raise ValueError(f"router id {router_id} outside mesh")
+
+    def neighbors(self, router_id: int) -> dict[str, int]:
+        """Physical neighbours by direction (N = row-1, S = row+1, ...)."""
+        r, c = self.coords(router_id)
+        out: dict[str, int] = {}
+        if r > 0:
+            out["N"] = self.router_at(r - 1, c)
+        if r < self.rows - 1:
+            out["S"] = self.router_at(r + 1, c)
+        if c > 0:
+            out["W"] = self.router_at(r, c - 1)
+        if c < self.cols - 1:
+            out["E"] = self.router_at(r, c + 1)
+        return out
+
+    def xy_next_hop(self, current: int, dest: int) -> int:
+        """Next router on the XY (X first, then Y) route to ``dest``."""
+        if current == dest:
+            raise ValueError("already at destination")
+        r, c = self.coords(current)
+        dr, dc = self.coords(dest)
+        if c != dc:  # X dimension first
+            return self.router_at(r, c + (1 if dc > c else -1))
+        return self.router_at(r + (1 if dr > r else -1), c)
+
+    def xy_route(self, src: int, dest: int) -> list[int]:
+        """Full XY route ``[src, ..., dest]`` (inclusive)."""
+        self._check(src)
+        self._check(dest)
+        route = [src]
+        current = src
+        while current != dest:
+            current = self.xy_next_hop(current, dest)
+            route.append(current)
+        return route
+
+    def hop_distance(self, src: int, dest: int) -> int:
+        """Manhattan hop count between two routers."""
+        r1, c1 = self.coords(src)
+        r2, c2 = self.coords(dest)
+        return abs(r1 - r2) + abs(c1 - c2)
+
+
+class CMesh(Mesh):
+    """Concentrated mesh: ``concentration`` tiles per router.
+
+    Reduces the router count by the concentration factor, which is what
+    makes the c-mesh cheaper than a plain mesh for the same tile count
+    (Section III.B.1); tiles on the same router communicate locally with
+    zero network hops.
+    """
+
+    def __init__(self, rows: int, cols: int, concentration: int = 4):
+        super().__init__(rows, cols)
+        if concentration <= 0:
+            raise ValueError("concentration must be positive")
+        self.concentration = concentration
+
+    @property
+    def num_tiles(self) -> int:
+        return self.num_routers * self.concentration
+
+    def router_of(self, tile_id: int) -> int:
+        if not (0 <= tile_id < self.num_tiles):
+            raise ValueError(f"tile id {tile_id} outside c-mesh")
+        return tile_id // self.concentration
+
+    def tile_distance(self, tile_a: int, tile_b: int) -> int:
+        """Hop count between the routers of two tiles (0 if co-located)."""
+        return self.hop_distance(self.router_of(tile_a), self.router_of(tile_b))

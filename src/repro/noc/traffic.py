@@ -1,0 +1,158 @@
+"""Traffic models: training compute/communication and remap-phase packets.
+
+``TrainingTrafficModel`` converts a CNN workload description into ReRAM
+epoch cycles and NoC injection statistics (the role PytorX-derived
+injection rates play for BookSim in the paper's methodology).
+``remap_phase_packets`` builds the packet lists for the three phases of
+the Fig. 3 remapping protocol; the controller runs them through
+:class:`~repro.noc.simulator.NoCSimulator` phase by phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.noc.multicast import build_xy_tree
+from repro.noc.packet import MessageType, Packet, flits_for_bits
+from repro.noc.topology import CMesh
+
+__all__ = ["TrainingTrafficModel", "remap_phase_packets"]
+
+
+@dataclass
+class TrainingTrafficModel:
+    """Analytical ReRAM-cycle cost of one training epoch.
+
+    Parameters
+    ----------
+    samples:
+        Training samples per epoch.
+    batches:
+        Weight updates per epoch (each reprograms every weight crossbar).
+    mvms_per_sample:
+        Total crossbar input-vector applications per sample, summed over
+        layers and both phases (forward + backward); for a conv layer this
+        is ``out_h * out_w`` per crossbar-row-block, for a linear layer 1.
+    input_bits:
+        Bits streamed per input (DAC bit-serial streaming, ISAAC-style
+        16-bit activations -> 16 ReRAM read cycles per MVM).
+    crossbar_rows:
+        Rows per crossbar (row-by-row programming cost of an update).
+    pipeline_depth:
+        Layer pipelining factor: how many MVMs the tiled/pipelined chip
+        retires per ReRAM cycle chip-wide.
+    """
+
+    samples: int
+    batches: int
+    mvms_per_sample: float
+    input_bits: int = 16
+    crossbar_rows: int = 128
+    pipeline_depth: float = 64.0
+
+    def __post_init__(self) -> None:
+        if min(self.samples, self.batches) <= 0:
+            raise ValueError("samples and batches must be positive")
+        if self.mvms_per_sample <= 0 or self.pipeline_depth <= 0:
+            raise ValueError("mvms_per_sample and pipeline_depth must be positive")
+
+    @property
+    def compute_cycles(self) -> float:
+        """ReRAM read cycles spent on MVMs in one epoch."""
+        return self.samples * self.mvms_per_sample * self.input_bits / self.pipeline_depth
+
+    @property
+    def write_cycles(self) -> float:
+        """ReRAM write cycles spent on weight updates in one epoch."""
+        return self.batches * self.crossbar_rows
+
+    @property
+    def epoch_cycles(self) -> float:
+        """Total ReRAM cycles of one training epoch."""
+        return self.compute_cycles + self.write_cycles
+
+
+def remap_phase_packets(
+    cmesh: CMesh,
+    senders: list[int],
+    responders: dict[int, list[int]],
+    matches: dict[int, int],
+    weight_bits: int,
+    pid_start: int = 0,
+) -> tuple[list[Packet], list[Packet], list[Packet]]:
+    """Build the packets of the three remap phases (Fig. 3).
+
+    Parameters
+    ----------
+    cmesh:
+        The chip's concentrated mesh.
+    senders:
+        Tile ids that broadcast a remap request.
+    responders:
+        ``sender tile -> [tiles that answer the request]``.
+    matches:
+        ``sender tile -> chosen receiver tile`` (the proximity pick).
+    weight_bits:
+        Payload of one crossbar-pair weight exchange (each direction).
+
+    Returns the three per-phase packet lists:
+    (broadcast requests, unicast responses, bidirectional weight transfers).
+    """
+    pid = pid_start
+    requests: list[Packet] = []
+    responses: list[Packet] = []
+    transfers: list[Packet] = []
+
+    all_routers = set(range(cmesh.num_routers))
+    for sender in senders:
+        src = cmesh.router_of(sender)
+        dests = tuple(sorted(all_routers - {src})) or (src,)
+        tree = build_xy_tree(cmesh, src, targets=set(dests))
+        requests.append(
+            Packet(
+                pid=pid,
+                msg_type=MessageType.REMAP_REQUEST,
+                src_router=src,
+                dest_routers=dests,
+                size_flits=1,
+                tree=tree,
+            )
+        )
+        pid += 1
+
+    for sender, tiles in responders.items():
+        s_router = cmesh.router_of(sender)
+        for tile in tiles:
+            r_router = cmesh.router_of(tile)
+            if r_router == s_router:
+                continue  # co-located tiles respond over the tile-local bus
+            responses.append(
+                Packet(
+                    pid=pid,
+                    msg_type=MessageType.REMAP_RESPONSE,
+                    src_router=r_router,
+                    dest_routers=(s_router,),
+                    size_flits=1,
+                )
+            )
+            pid += 1
+
+    flits = flits_for_bits(weight_bits)
+    for sender, receiver in matches.items():
+        s_router = cmesh.router_of(sender)
+        r_router = cmesh.router_of(receiver)
+        if s_router == r_router:
+            continue  # zero-hop exchange inside one router's concentration
+        for src, dst in ((s_router, r_router), (r_router, s_router)):
+            transfers.append(
+                Packet(
+                    pid=pid,
+                    msg_type=MessageType.WEIGHT_TRANSFER,
+                    src_router=src,
+                    dest_routers=(dst,),
+                    size_flits=flits,
+                )
+            )
+            pid += 1
+
+    return requests, responses, transfers

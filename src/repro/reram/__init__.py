@@ -1,0 +1,41 @@
+"""ReRAM crossbar-based computing system (RCS) hardware substrate.
+
+The hardware tree mirrors the paper's target architecture (Fig. 1):
+
+``Chip`` -> c-mesh of routers -> ``Tile`` (eDRAM + functional units)
+-> ``IMA`` (DAC/ADC/S&H/S&A peripherals + BIST port) -> ``Crossbar``
+(128x128 ReRAM array).
+
+Weights are stored differentially: one logical weight block occupies a
+:class:`CrossbarPair` (a G+ array and a G- array).  Stuck-at faults clamp
+individual device conductances; the clamped (effective) weights are what
+both the forward and backward MVMs of CNN training actually use.
+"""
+
+from repro.reram.cell import (
+    sample_sa0_resistances,
+    sample_sa1_resistances,
+    conductance_fraction,
+)
+from repro.reram.crossbar import Crossbar, CrossbarPair
+from repro.reram.ima import IMA
+from repro.reram.tile import Tile
+from repro.reram.chip import Chip
+from repro.reram.mapping import LayerCopyMapping, blocks_needed, pad_to_blocks
+from repro.reram.pipeline import LayerTiming, PipelineModel
+
+__all__ = [
+    "sample_sa0_resistances",
+    "sample_sa1_resistances",
+    "conductance_fraction",
+    "Crossbar",
+    "CrossbarPair",
+    "IMA",
+    "Tile",
+    "Chip",
+    "LayerCopyMapping",
+    "blocks_needed",
+    "pad_to_blocks",
+    "LayerTiming",
+    "PipelineModel",
+]

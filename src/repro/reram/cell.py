@@ -1,0 +1,70 @@
+"""ReRAM device-level models.
+
+A healthy 1T1R ReRAM cell is programmable between a low-resistance state
+(R_on, conductance ``g_on``) and a high-resistance state (R_off,
+conductance ``g_off``).  Analog weights use intermediate conductances.
+Stuck cells lose programmability:
+
+* **SA1** — stuck at logic 1: resistance frozen in 1.5-3 kOhm (well below
+  R_on), so the device always conducts strongly;
+* **SA0** — stuck at logic 0: resistance frozen in 0.8-3 MOhm (at/above
+  R_off), effectively an open device.
+
+The resistance ranges follow the array-level endurance characterisation of
+Grossi et al. quoted in Section IV.B of the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.config import CrossbarConfig
+
+__all__ = [
+    "sample_sa0_resistances",
+    "sample_sa1_resistances",
+    "conductance_fraction",
+    "fraction_to_conductance",
+]
+
+
+def sample_sa1_resistances(
+    rng: np.random.Generator, n: int, config: CrossbarConfig
+) -> np.ndarray:
+    """Sample stuck-at-1 resistances (ohms), log-uniform over the SA1 range.
+
+    Log-uniform sampling reflects the multiplicative device-to-device
+    variation observed in filamentary ReRAM.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    lo, hi = np.log(config.r_sa1_min), np.log(config.r_sa1_max)
+    return np.exp(rng.uniform(lo, hi, size=n))
+
+
+def sample_sa0_resistances(
+    rng: np.random.Generator, n: int, config: CrossbarConfig
+) -> np.ndarray:
+    """Sample stuck-at-0 resistances (ohms), log-uniform over the SA0 range."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    lo, hi = np.log(config.r_sa0_min), np.log(config.r_sa0_max)
+    return np.exp(rng.uniform(lo, hi, size=n))
+
+
+def conductance_fraction(g: np.ndarray, config: CrossbarConfig) -> np.ndarray:
+    """Normalise absolute conductances to the programmable [0, 1] range.
+
+    0 maps to ``g_off`` and 1 to ``g_on``; stuck devices can fall outside
+    [0, 1] (SA1 conducts more than g_on), which is intentional — the MVM
+    sees the physical conductance, not the logical one.
+    """
+    return (np.asarray(g, dtype=np.float64) - config.g_off) / (
+        config.g_on - config.g_off
+    )
+
+
+def fraction_to_conductance(frac: np.ndarray, config: CrossbarConfig) -> np.ndarray:
+    """Map programmable fractions in [0, 1] back to absolute conductance."""
+    frac = np.asarray(frac, dtype=np.float64)
+    return config.g_off + frac * (config.g_on - config.g_off)

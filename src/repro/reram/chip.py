@@ -1,0 +1,239 @@
+"""The RCS chip: tile grid, crossbar inventory, allocation and remapping.
+
+The chip owns the physical hardware tree (tiles -> IMAs -> crossbars), the
+differential pair registry, the wear tracker and a monotonically increasing
+``fault_version`` used to invalidate cached fault overlays whenever faults
+are injected or tasks are remapped.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.faults.endurance import WearTracker
+from repro.faults.types import FaultMap
+from repro.reram.crossbar import Crossbar, CrossbarPair
+from repro.reram.ima import IMA
+from repro.reram.mapping import LayerCopyMapping, blocks_needed
+from repro.reram.tile import Tile
+from repro.utils.config import ChipConfig
+
+__all__ = ["Chip"]
+
+
+class Chip:
+    """A complete ReRAM crossbar-based computing system instance."""
+
+    def __init__(self, config: ChipConfig):
+        self.config = config
+        self.crossbars: list[Crossbar] = []
+        self.tiles: list[Tile] = []
+        self.pairs: list[CrossbarPair] = []
+        self._build()
+        self.wear = WearTracker(len(self.crossbars))
+        #: bumped on every fault injection / remap; caches key off it.
+        self.fault_version = 0
+        #: registered layer-copy mappings (the logical task placement).
+        self.mappings: list[LayerCopyMapping] = []
+        # Spare pairs (reserved, never allocated to tasks).
+        n_spare = int(round(config.spare_fraction * len(self.pairs)))
+        all_ids = np.arange(len(self.pairs))
+        self.spare_pair_ids: list[int] = list(map(int, all_ids[len(all_ids) - n_spare:]))
+        self._allocatable = [int(i) for i in all_ids[: len(all_ids) - n_spare]]
+        # Round-robin allocation order interleaving tiles so consecutive
+        # blocks land on different tiles (spreads traffic and wear).
+        by_tile: dict[int, list[int]] = {}
+        for pid in self._allocatable:
+            by_tile.setdefault(self.pairs[pid].tile_id, []).append(pid)
+        order: list[int] = []
+        queues = [list(v) for _, v in sorted(by_tile.items())]
+        while any(queues):
+            for q in queues:
+                if q:
+                    order.append(q.pop(0))
+        self._alloc_order = order
+        self._alloc_cursor = 0
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def _build(self) -> None:
+        cfg = self.config
+        xbar_id = 0
+        ima_id = 0
+        pair_id = 0
+        for tile_id in range(cfg.num_tiles):
+            router_id = tile_id // cfg.tiles_per_router
+            imas: list[IMA] = []
+            for _ in range(cfg.imas_per_tile):
+                xbars = [
+                    Crossbar(xbar_id + k, cfg.crossbar)
+                    for k in range(cfg.crossbars_per_ima)
+                ]
+                xbar_id += len(xbars)
+                imas.append(IMA(ima_id, xbars))
+                ima_id += 1
+                self.crossbars.extend(xbars)
+                # Consecutive crossbars in an IMA pair up as (G+, G-).
+                for k in range(0, len(xbars), 2):
+                    self.pairs.append(
+                        CrossbarPair(pair_id, xbars[k], xbars[k + 1], tile_id)
+                    )
+                    pair_id += 1
+            self.tiles.append(Tile(tile_id, imas, router_id))
+
+    # ------------------------------------------------------------------ #
+    # basic queries
+    # ------------------------------------------------------------------ #
+    @property
+    def num_crossbars(self) -> int:
+        return len(self.crossbars)
+
+    @property
+    def num_pairs(self) -> int:
+        return len(self.pairs)
+
+    @property
+    def fault_maps(self) -> list[FaultMap]:
+        return [xb.fault_map for xb in self.crossbars]
+
+    def pair(self, pair_id: int) -> CrossbarPair:
+        return self.pairs[pair_id]
+
+    def tile_of_pair(self, pair_id: int) -> int:
+        return self.pairs[pair_id].tile_id
+
+    def router_of_tile(self, tile_id: int) -> int:
+        return self.tiles[tile_id].router_id
+
+    def router_coords(self, router_id: int) -> tuple[int, int]:
+        """(row, col) of a router in the mesh grid."""
+        return divmod(router_id, self.config.mesh_cols)
+
+    def hop_count(self, tile_a: int, tile_b: int) -> int:
+        """NoC hop count between two tiles (XY routing on the c-mesh).
+
+        Tiles on the same router are zero hops apart; otherwise the hop
+        count is the Manhattan distance between their routers.
+        """
+        ra = self.router_of_tile(tile_a)
+        rb = self.router_of_tile(tile_b)
+        (ya, xa), (yb, xb) = self.router_coords(ra), self.router_coords(rb)
+        return abs(ya - yb) + abs(xa - xb)
+
+    def bump_fault_version(self) -> None:
+        """Invalidate all cached fault overlays (new faults or remap)."""
+        self.fault_version += 1
+
+    # ------------------------------------------------------------------ #
+    # allocation
+    # ------------------------------------------------------------------ #
+    def allocate_pairs(self, count: int) -> list[int]:
+        """Allocate ``count`` crossbar pairs, round-robin across tiles."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        remaining = len(self._alloc_order) - self._alloc_cursor
+        if count > remaining:
+            raise RuntimeError(
+                f"chip out of crossbar pairs: requested {count}, "
+                f"only {remaining} of {len(self._alloc_order)} left "
+                "(increase ChipConfig sizes or reduce the model)"
+            )
+        ids = self._alloc_order[self._alloc_cursor : self._alloc_cursor + count]
+        self._alloc_cursor += count
+        return ids
+
+    def allocate_layer_copy(
+        self, name: str, phase: str, matrix_shape: tuple[int, int]
+    ) -> LayerCopyMapping:
+        """Allocate pairs for one layer copy and register its mapping."""
+        rows = self.config.crossbar.rows
+        cols = self.config.crossbar.cols
+        nbr, nbc = blocks_needed(matrix_shape[0], matrix_shape[1], rows, cols)
+        ids = np.asarray(self.allocate_pairs(nbr * nbc), dtype=np.int64)
+        mapping = LayerCopyMapping(
+            name, phase, matrix_shape, ids.reshape(nbr, nbc), rows, cols
+        )
+        self.mappings.append(mapping)
+        return mapping
+
+    def pairs_remaining(self) -> int:
+        return len(self._alloc_order) - self._alloc_cursor
+
+    def idle_pair_ids(self) -> list[int]:
+        """Allocatable pairs not currently hosting any task.
+
+        These are ordinary chip crossbars (not reserved spares): pairs the
+        allocator handed out but whose task has since moved away, plus
+        never-allocated headroom.  Remap-D may move tasks onto them — the
+        paper's "already available crossbars, which may or may not be
+        fault-free".
+        """
+        used: set[int] = set()
+        for mapping in self.mappings:
+            used.update(int(p) for p in mapping.pair_ids.ravel())
+        return [pid for pid in self._alloc_order if pid not in used]
+
+    def move_task(
+        self,
+        mapping: LayerCopyMapping,
+        block: tuple[int, int],
+        target_pair: int,
+    ) -> None:
+        """Move one task to an idle pair (the old pair becomes idle).
+
+        Costs one programming write on the target pair's crossbars (the
+        weights are copied over; the vacated pair is not rewritten).
+        """
+        mapping.set_pair(block[0], block[1], target_pair)
+        touched = list(self.pairs[target_pair].crossbar_ids())
+        self.wear.record(np.asarray(touched, dtype=np.int64), 1)
+        self.bump_fault_version()
+
+    # ------------------------------------------------------------------ #
+    # training-side bookkeeping
+    # ------------------------------------------------------------------ #
+    def record_update_writes(self, count: int = 1) -> None:
+        """Record ``count`` weight-update writes on every mapped crossbar."""
+        ids: list[int] = []
+        for mapping in self.mappings:
+            ids.extend(mapping.crossbar_ids(self.pair))
+        self.wear.record(np.asarray(ids, dtype=np.int64), count)
+
+    def swap_tasks(
+        self,
+        mapping_a: LayerCopyMapping,
+        block_a: tuple[int, int],
+        mapping_b: LayerCopyMapping,
+        block_b: tuple[int, int],
+    ) -> None:
+        """Exchange the physical pairs backing two tasks (one remap).
+
+        The weight exchange costs one programming write on each of the
+        four crossbars involved (both pairs are rewritten).
+        """
+        pa = int(mapping_a.pair_ids[block_a])
+        pb = int(mapping_b.pair_ids[block_b])
+        mapping_a.set_pair(block_a[0], block_a[1], pb)
+        mapping_b.set_pair(block_b[0], block_b[1], pa)
+        touched = list(self.pairs[pa].crossbar_ids()) + list(
+            self.pairs[pb].crossbar_ids()
+        )
+        self.wear.record(np.asarray(touched, dtype=np.int64), 1)
+        self.bump_fault_version()
+
+    # ------------------------------------------------------------------ #
+    # densities
+    # ------------------------------------------------------------------ #
+    def true_pair_densities(self) -> np.ndarray:
+        """Ground-truth fault density per pair (testing/analysis only)."""
+        return np.array([p.density for p in self.pairs])
+
+    def true_crossbar_densities(self) -> np.ndarray:
+        return np.array([xb.density for xb in self.crossbars])
+
+    def __repr__(self) -> str:
+        return (
+            f"Chip(tiles={len(self.tiles)}, crossbars={self.num_crossbars}, "
+            f"pairs={self.num_pairs}, spares={len(self.spare_pair_ids)})"
+        )

@@ -1,0 +1,69 @@
+"""In-situ multiply-accumulate (IMA) units.
+
+An IMA groups several crossbar arrays with the mixed-signal periphery they
+share: input registers and DACs on the rows, sample-and-hold plus ADCs and
+shift-and-add circuits on the columns, output registers, and — specific to
+this work — one low-cost BIST module per IMA (Fig. 1 and Fig. 2 of the
+paper).  The IMA is the unit the area model rolls up (`repro.area.models`)
+and the attachment point of the BIST controller (`repro.bist`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.reram.crossbar import Crossbar
+
+__all__ = ["IMA", "IMAPeripherals"]
+
+
+@dataclass
+class IMAPeripherals:
+    """Inventory of the shared mixed-signal periphery of one IMA.
+
+    Counts follow the ISAAC-style organisation the paper adopts: one DAC
+    per crossbar row, columns multiplexed onto a small number of ADCs, one
+    S&H per column, shift-and-add trees for bit-sliced accumulation.
+    """
+
+    dacs: int
+    adcs: int
+    sample_holds: int
+    shift_adds: int
+    input_registers_bits: int
+    output_registers_bits: int
+    has_bist: bool = True
+
+
+class IMA:
+    """One in-situ multiply-accumulate unit (a group of crossbars)."""
+
+    def __init__(self, ima_id: int, crossbars: list[Crossbar], adcs_per_ima: int = 8):
+        if not crossbars:
+            raise ValueError("an IMA must contain at least one crossbar")
+        self.ima_id = int(ima_id)
+        self.crossbars = list(crossbars)
+        cfg = crossbars[0].config
+        self.peripherals = IMAPeripherals(
+            dacs=cfg.rows,
+            adcs=adcs_per_ima,
+            sample_holds=cfg.cols,
+            shift_adds=adcs_per_ima,
+            input_registers_bits=cfg.rows * 16,
+            output_registers_bits=cfg.cols * 16,
+            has_bist=True,
+        )
+
+    @property
+    def num_crossbars(self) -> int:
+        return len(self.crossbars)
+
+    def crossbar_ids(self) -> list[int]:
+        return [xb.xbar_id for xb in self.crossbars]
+
+    def max_density(self) -> float:
+        """Worst ground-truth fault density among this IMA's crossbars."""
+        return max(xb.density for xb in self.crossbars)
+
+    def __repr__(self) -> str:
+        return f"IMA(id={self.ima_id}, crossbars={self.num_crossbars})"

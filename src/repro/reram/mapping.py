@@ -1,0 +1,294 @@
+"""Mapping CNN layer weight matrices onto crossbar pairs.
+
+A layer's MVM matrix is tiled into ``rows x cols`` blocks; each block is a
+*task* in the paper's sense (the computation of one CNN layer slice on one
+crossbar) and is assigned to one differential :class:`CrossbarPair`.
+Training accelerators in the PipeLayer style keep **two physical copies**
+of each weight matrix:
+
+* the *forward* copy stores ``W^T`` (shape ``in x out``) and computes
+  ``y = x W^T`` during inference/forward;
+* the *backward* copy stores ``W`` (shape ``out x in``) and computes the
+  error back-propagation ``dx = dy W`` during the backward phase.
+
+Because the copies are physically distinct crossbars, faults can strike
+the forward and backward phases independently — the property underlying
+Fig. 5 of the paper.  :class:`LayerCopyMapping` manages one such copy: the
+block grid, the pair assignment (mutable — this is what dynamic remapping
+permutes), and the fast vectorised computation of stuck-at-clamped
+effective weights.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.faults.types import FaultMap
+
+__all__ = ["blocks_needed", "pad_to_blocks", "LayerCopyMapping"]
+
+FORWARD = "forward"
+BACKWARD = "backward"
+
+
+def blocks_needed(matrix_rows: int, matrix_cols: int, rows: int, cols: int) -> tuple[int, int]:
+    """Block-grid shape needed to tile a ``matrix_rows x matrix_cols`` matrix."""
+    if matrix_rows <= 0 or matrix_cols <= 0:
+        raise ValueError("matrix dimensions must be positive")
+    return (math.ceil(matrix_rows / rows), math.ceil(matrix_cols / cols))
+
+
+def pad_to_blocks(matrix: np.ndarray, rows: int, cols: int) -> np.ndarray:
+    """Zero-pad a matrix up to whole crossbar blocks."""
+    matrix = np.asarray(matrix)
+    nbr, nbc = blocks_needed(matrix.shape[0], matrix.shape[1], rows, cols)
+    padded = np.zeros((nbr * rows, nbc * cols), dtype=matrix.dtype)
+    padded[: matrix.shape[0], : matrix.shape[1]] = matrix
+    return padded
+
+
+class LayerCopyMapping:
+    """One physical copy (forward or backward) of one layer's weight matrix.
+
+    Parameters
+    ----------
+    name:
+        Layer name (e.g. ``"features.3"``).
+    phase:
+        ``"forward"`` or ``"backward"`` — determines the matrix orientation
+        and the fault-tolerance rank used by the remapping policy.
+    matrix_shape:
+        Shape of the matrix *as stored on the crossbars* (already oriented
+        for the phase: ``(in, out)`` forward, ``(out, in)`` backward).
+    pair_ids:
+        ``(nbr, nbc)`` integer grid of assigned crossbar-pair ids.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        phase: str,
+        matrix_shape: tuple[int, int],
+        pair_ids: np.ndarray,
+        block_rows: int,
+        block_cols: int,
+    ):
+        if phase not in (FORWARD, BACKWARD):
+            raise ValueError(f"phase must be 'forward' or 'backward', got {phase!r}")
+        self.name = name
+        self.phase = phase
+        self.matrix_shape = (int(matrix_shape[0]), int(matrix_shape[1]))
+        self.block_rows = int(block_rows)
+        self.block_cols = int(block_cols)
+        expected = blocks_needed(*self.matrix_shape, block_rows, block_cols)
+        pair_ids = np.asarray(pair_ids, dtype=np.int64)
+        if pair_ids.shape != expected:
+            raise ValueError(
+                f"pair_ids grid {pair_ids.shape} does not match required {expected}"
+            )
+        self.pair_ids = pair_ids
+        # Mask cache, invalidated via the owning chip's fault_version.
+        self._mask_version = -1
+        self._masks: dict[str, np.ndarray] | None = None
+        #: per-block programming scale (conductance dynamic range), frozen
+        #: at calibration time; NaN marks blocks awaiting (re)calibration.
+        #: The DAC/programming reference of a crossbar is set when the
+        #: block is written wholesale (deployment or a remap exchange) and
+        #: is NOT retuned by in-situ incremental updates — so a stuck
+        #: device pins its weight at up to +-scale even as the healthy
+        #: weights shrink, which is what makes SAFs so damaging.
+        self.scales = np.full(self.pair_ids.shape, np.nan)
+        #: calibration scales of the gradient read-out path (the backward
+        #: phase also computes the weight gradient on these crossbars;
+        #: its ADC range is calibrated separately from the weight range).
+        self.grad_scales = np.full(self.pair_ids.shape, np.nan)
+        #: headroom factor applied at calibration (weights grow during
+        #: training; the range must accommodate them without saturating).
+        self.scale_headroom = 2.0
+        #: gradient-path calibration factor.  The gradient ADC range is
+        #: sized for *typical* training gradients, well below the initial
+        #: peak (gradients shrink as training converges) — a stuck device
+        #: therefore pins its gradient entry at a moderate, persistent
+        #: wrong value whose effect accumulates update after update: the
+        #: paper's "incorrect gradients get accumulated after each weight
+        #: update" mechanism.
+        self.grad_scale_headroom = 2.0
+
+    # ------------------------------------------------------------------ #
+    # geometry
+    # ------------------------------------------------------------------ #
+    @property
+    def grid_shape(self) -> tuple[int, int]:
+        return self.pair_ids.shape
+
+    @property
+    def num_blocks(self) -> int:
+        return int(self.pair_ids.size)
+
+    @property
+    def padded_shape(self) -> tuple[int, int]:
+        nbr, nbc = self.grid_shape
+        return (nbr * self.block_rows, nbc * self.block_cols)
+
+    def block_slices(self, block_row: int, block_col: int) -> tuple[slice, slice]:
+        """Padded-matrix slices covered by one block."""
+        r0 = block_row * self.block_rows
+        c0 = block_col * self.block_cols
+        return (slice(r0, r0 + self.block_rows), slice(c0, c0 + self.block_cols))
+
+    def iter_blocks(self):
+        """Yield ``(block_row, block_col, pair_id)`` for every block."""
+        nbr, nbc = self.grid_shape
+        for br in range(nbr):
+            for bc in range(nbc):
+                yield br, bc, int(self.pair_ids[br, bc])
+
+    # ------------------------------------------------------------------ #
+    # remapping
+    # ------------------------------------------------------------------ #
+    def set_pair(self, block_row: int, block_col: int, pair_id: int) -> None:
+        """Reassign one block to a different physical pair (remap).
+
+        The exchange rewrites the block wholesale, so the programming
+        scale is recalibrated on the next effective-weight computation.
+        """
+        self.pair_ids[block_row, block_col] = int(pair_id)
+        self.scales[block_row, block_col] = np.nan  # recalibrate on write
+        self.grad_scales[block_row, block_col] = np.nan
+        self._mask_version = -1  # masks are stale
+
+    # ------------------------------------------------------------------ #
+    # effective (stuck-at-clamped) weights
+    # ------------------------------------------------------------------ #
+    def assemble_masks(
+        self, pair_lookup, fault_version: int
+    ) -> dict[str, np.ndarray]:
+        """Build (and cache) the padded-matrix stuck-cell overlays.
+
+        ``pair_lookup`` maps a pair id to a ``CrossbarPair``; the four
+        returned boolean arrays (``sa1_pos``, ``sa0_pos``, ``sa1_neg``,
+        ``sa0_neg``) have the padded matrix shape and mark which weight
+        positions are pinned by a stuck device on the positive / negative
+        array of the assigned pair.
+        """
+        if self._masks is not None and self._mask_version == fault_version:
+            return self._masks
+        shape = self.padded_shape
+        masks = {
+            key: np.zeros(shape, dtype=bool)
+            for key in ("sa1_pos", "sa0_pos", "sa1_neg", "sa0_neg")
+        }
+        any_fault = False
+        for br, bc, pair_id in self.iter_blocks():
+            pair = pair_lookup(pair_id)
+            pos_map: FaultMap = pair.pos.fault_map
+            neg_map: FaultMap = pair.neg.fault_map
+            rs, cs = self.block_slices(br, bc)
+            if pos_map.count() > 0:
+                masks["sa1_pos"][rs, cs] = pos_map.sa1_mask
+                masks["sa0_pos"][rs, cs] = pos_map.sa0_mask
+                any_fault = True
+            if neg_map.count() > 0:
+                masks["sa1_neg"][rs, cs] = neg_map.sa1_mask
+                masks["sa0_neg"][rs, cs] = neg_map.sa0_mask
+                any_fault = True
+        masks["any"] = (
+            masks["sa1_pos"] | masks["sa0_pos"] | masks["sa1_neg"] | masks["sa0_neg"]
+        )
+        masks["_empty"] = np.asarray(not any_fault)
+        self._masks = masks
+        self._mask_version = fault_version
+        return masks
+
+    def effective_matrix(
+        self, matrix: np.ndarray, pair_lookup, fault_version: int,
+        which: str = "weight",
+    ) -> np.ndarray:
+        """Stuck-at-clamped version of ``matrix`` under the current mapping.
+
+        Implements the differential-pair clamp of
+        :class:`repro.reram.crossbar.CrossbarPair` vectorised over all
+        blocks.  ``which`` selects the calibration-scale set: ``"weight"``
+        for the stored-weight path, ``"grad"`` for the backward phase's
+        gradient computation (same crossbars and faults, separate ADC
+        range).  Scales are frozen at calibration (first write / remap)
+        — a stuck device therefore pins its value at up to +-scale
+        regardless of how the healthy values evolve.
+        """
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.shape != self.matrix_shape:
+            raise ValueError(
+                f"matrix shape {matrix.shape} != mapping shape {self.matrix_shape}"
+            )
+        masks = self.assemble_masks(pair_lookup, fault_version)
+        scales = self._refresh_scales(matrix, which)
+        if bool(masks["_empty"]):
+            return matrix
+        rows, cols = self.block_rows, self.block_cols
+        nbr, nbc = self.grid_shape
+        padded = pad_to_blocks(matrix, rows, cols)
+        view = padded.reshape(nbr, rows, nbc, cols)
+        s_full = scales[:, None, :, None]
+
+        # Healthy devices saturate at the calibrated range (fractions are
+        # clipped to [0, 1]); stuck devices are pinned afterwards.
+        frac_pos = np.clip(np.clip(view, 0.0, None) / s_full, 0.0, 1.0)
+        frac_neg = np.clip(np.clip(-view, 0.0, None) / s_full, 0.0, 1.0)
+        frac_pos = frac_pos.reshape(padded.shape)
+        frac_neg = frac_neg.reshape(padded.shape)
+
+        frac_pos[masks["sa1_pos"]] = 1.0
+        frac_pos[masks["sa0_pos"]] = 0.0
+        frac_neg[masks["sa1_neg"]] = 1.0
+        frac_neg[masks["sa0_neg"]] = 0.0
+
+        eff = (frac_pos - frac_neg).reshape(nbr, rows, nbc, cols) * s_full
+        eff = eff.reshape(padded.shape)
+        return eff[: matrix.shape[0], : matrix.shape[1]]
+
+    def _refresh_scales(self, matrix: np.ndarray, which: str = "weight") -> np.ndarray:
+        """Return the calibration scales for the weight or gradient path.
+
+        Both paths use frozen per-block calibration: programming ranges
+        and gradient ADC ranges are set when a block is (re)written
+        wholesale; stale entries are marked NaN and recalibrated from the
+        next matrix seen.
+        """
+        scales = self.scales if which == "weight" else self.grad_scales
+        stale = np.isnan(scales)
+        if stale.any():
+            rows, cols = self.block_rows, self.block_cols
+            nbr, nbc = self.grid_shape
+            padded = pad_to_blocks(matrix, rows, cols)
+            # Robust calibration: the programming / ADC range targets the
+            # bulk of the block's distribution (99th percentile), so a few
+            # fault-drifted outlier values cannot inflate the range when a
+            # block is recalibrated after a remap — they saturate instead,
+            # exactly as the physical devices would.
+            blocks = np.abs(padded.reshape(nbr, rows, nbc, cols))
+            block_ref = np.quantile(blocks, 0.99, axis=(1, 3))
+            headroom = (
+                self.scale_headroom if which == "weight" else self.grad_scale_headroom
+            )
+            fresh = headroom * np.where(block_ref > 0, block_ref, 1.0)
+            scales = np.where(stale, fresh, scales)
+            if which == "weight":
+                self.scales = scales
+            else:
+                self.grad_scales = scales
+        return scales
+
+    def crossbar_ids(self, pair_lookup) -> list[int]:
+        """All physical crossbar ids backing this copy (for wear tracking)."""
+        ids: list[int] = []
+        for _, _, pair_id in self.iter_blocks():
+            ids.extend(pair_lookup(pair_id).crossbar_ids())
+        return ids
+
+    def __repr__(self) -> str:
+        return (
+            f"LayerCopyMapping({self.name!r}, {self.phase}, "
+            f"matrix={self.matrix_shape}, blocks={self.grid_shape})"
+        )

@@ -1,0 +1,120 @@
+"""PipeLayer-style pipeline timing for CNN training on the RCS.
+
+The paper's overhead percentages are fractions of *epoch training time*,
+which on a PipeLayer-class accelerator is set by a layer-pipelined
+schedule: consecutive samples stream through the layer pipeline, all
+crossbars of one layer fire in parallel, and inputs are applied
+bit-serially.  This module derives the per-layer and per-epoch cycle
+counts from a bound model, replacing the flat ``pipeline_depth`` guess in
+:class:`~repro.noc.traffic.TrainingTrafficModel` with a structural
+estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nn.fault_aware import CrossbarEngine
+from repro.nn.layers import Conv2d, Linear, Module
+
+__all__ = ["LayerTiming", "PipelineModel"]
+
+
+@dataclass(frozen=True)
+class LayerTiming:
+    """Cycle cost of one layer's forward+backward MVMs per sample."""
+
+    name: str
+    #: input-vector applications per sample (output positions).
+    positions: int
+    #: crossbar-pair blocks of the forward copy.
+    fwd_blocks: int
+    #: crossbar-pair blocks of the backward copy.
+    bwd_blocks: int
+    #: bit-serial input streaming cycles per MVM.
+    input_bits: int
+
+    @property
+    def cycles_per_sample(self) -> int:
+        """ReRAM read cycles this layer needs for one training sample.
+
+        All blocks of a copy fire in parallel (they see the same input
+        vector), so the latency per position is ``input_bits`` cycles per
+        phase; the pipeline stage time is positions x bits x 2 phases.
+        """
+        return self.positions * self.input_bits * 2
+
+
+class PipelineModel:
+    """Layer-pipelined epoch timing for a crossbar-bound model."""
+
+    def __init__(
+        self,
+        model: Module,
+        engine: CrossbarEngine,
+        input_bits: int = 16,
+    ):
+        self.layers: list[LayerTiming] = []
+        for name, module in model.named_modules():
+            if isinstance(module, Conv2d):
+                if not hasattr(module, "last_output_hw"):
+                    raise RuntimeError(
+                        "run one forward pass before building PipelineModel"
+                    )
+                oh, ow = module.last_output_hw
+                positions = oh * ow
+            elif isinstance(module, Linear):
+                positions = 1
+            else:
+                continue
+            fwd_blocks = bwd_blocks = 1
+            if module.layer_key and module.layer_key in engine.copies:
+                fwd, bwd = engine.copies[module.layer_key]
+                fwd_blocks, bwd_blocks = fwd.num_blocks, bwd.num_blocks
+            self.layers.append(
+                LayerTiming(name, positions, fwd_blocks, bwd_blocks, input_bits)
+            )
+        if not self.layers:
+            raise ValueError("model has no MVM layers")
+
+    @property
+    def bottleneck(self) -> LayerTiming:
+        """The pipeline stage that sets the steady-state sample interval."""
+        return max(self.layers, key=lambda l: l.cycles_per_sample)
+
+    @property
+    def stage_interval_cycles(self) -> int:
+        """Cycles between consecutive samples in steady state."""
+        return self.bottleneck.cycles_per_sample
+
+    def pipeline_fill_cycles(self) -> int:
+        """Latency of the first sample through every stage (fill)."""
+        return sum(l.cycles_per_sample for l in self.layers)
+
+    def epoch_cycles(
+        self, samples: int, batches: int, crossbar_rows: int = 128
+    ) -> float:
+        """ReRAM cycles of one training epoch.
+
+        Steady-state streaming at the bottleneck interval, one pipeline
+        fill, plus the row-by-row weight-update writes per batch.
+        """
+        if samples <= 0 or batches <= 0:
+            raise ValueError("samples and batches must be positive")
+        compute = self.pipeline_fill_cycles() + (samples - 1) * self.stage_interval_cycles
+        writes = batches * crossbar_rows
+        return float(compute + writes)
+
+    def total_crossbar_reads(self, samples: int) -> float:
+        """Chip-wide crossbar read operations per epoch (for energy)."""
+        return float(samples) * sum(
+            l.positions * (l.fwd_blocks + l.bwd_blocks) for l in self.layers
+        )
+
+    def summary_rows(self) -> list[list]:
+        """Per-layer table rows for reports."""
+        return [
+            [l.name, l.positions, l.fwd_blocks + l.bwd_blocks,
+             l.cycles_per_sample]
+            for l in self.layers
+        ]

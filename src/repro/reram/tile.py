@@ -1,0 +1,48 @@
+"""Tiles: the chip-level replication unit.
+
+A tile contains multiple IMAs, an eDRAM buffer for activations/partial
+sums, and digital functional units (pooling, activation functions).  Tiles
+are the endpoints of the NoC: the remapping protocol of Fig. 3 exchanges
+weights *between tiles*, and each tile is attached to a c-mesh router.
+"""
+
+from __future__ import annotations
+
+from repro.reram.ima import IMA
+
+__all__ = ["Tile"]
+
+
+class Tile:
+    """One RCS tile (Fig. 1): IMAs + eDRAM + pooling/activation units."""
+
+    def __init__(
+        self,
+        tile_id: int,
+        imas: list[IMA],
+        router_id: int,
+        edram_kb: int = 64,
+    ):
+        if not imas:
+            raise ValueError("a tile must contain at least one IMA")
+        self.tile_id = int(tile_id)
+        self.imas = list(imas)
+        #: id of the c-mesh router this tile is concentrated on.
+        self.router_id = int(router_id)
+        self.edram_kb = int(edram_kb)
+
+    @property
+    def num_crossbars(self) -> int:
+        return sum(ima.num_crossbars for ima in self.imas)
+
+    def crossbar_ids(self) -> list[int]:
+        ids: list[int] = []
+        for ima in self.imas:
+            ids.extend(ima.crossbar_ids())
+        return ids
+
+    def __repr__(self) -> str:
+        return (
+            f"Tile(id={self.tile_id}, router={self.router_id}, "
+            f"imas={len(self.imas)})"
+        )

@@ -1,0 +1,28 @@
+"""Shared utilities: seeded randomness, configuration, logging, tables."""
+
+from repro.utils.rng import RngHub, derive_rng
+from repro.utils.config import (
+    CrossbarConfig,
+    ChipConfig,
+    FaultConfig,
+    TrainConfig,
+    ExperimentConfig,
+)
+from repro.utils.logging import RunLogger
+from repro.utils.tabulate import render_table, render_series
+from repro.utils.charts import render_bars, render_grouped_bars
+
+__all__ = [
+    "RngHub",
+    "derive_rng",
+    "CrossbarConfig",
+    "ChipConfig",
+    "FaultConfig",
+    "TrainConfig",
+    "ExperimentConfig",
+    "RunLogger",
+    "render_table",
+    "render_series",
+    "render_bars",
+    "render_grouped_bars",
+]

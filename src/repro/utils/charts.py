@@ -1,0 +1,78 @@
+"""ASCII chart rendering for figure-style bench output.
+
+The benches print each figure's data as a table; for the bar-chart
+figures (Fig. 5, 6, 8) an ASCII bar rendering makes the *shape* — who
+wins, by how much — visible directly in the terminal log, without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_bars", "render_grouped_bars"]
+
+_BAR = "#"
+
+
+def render_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    title: str | None = None,
+    width: int = 50,
+    vmax: float | None = None,
+    fmt: str = "{:.3f}",
+) -> str:
+    """Horizontal bar chart, one bar per (label, value).
+
+    >>> print(render_bars(["a", "b"], [0.5, 1.0], width=10))
+    a | #####      0.500
+    b | ########## 1.000
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not labels:
+        return ""
+    top = vmax if vmax is not None else max(max(values), 1e-12)
+    label_w = max(len(str(l)) for l in labels)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        filled = int(round(width * max(value, 0.0) / top))
+        filled = min(filled, width)
+        bar = (_BAR * filled).ljust(width)
+        lines.append(f"{str(label).ljust(label_w)} | {bar} {fmt.format(value)}")
+    return "\n".join(lines)
+
+
+def render_grouped_bars(
+    group_labels: Sequence[str],
+    series: dict[str, Sequence[float]],
+    title: str | None = None,
+    width: int = 40,
+    vmax: float | None = None,
+) -> str:
+    """Grouped bars: for each group, one bar per named series.
+
+    Mirrors the paper's per-model grouped bar figures (Fig. 6/8): groups
+    are CNN models, series are mitigation methods.
+    """
+    for name, values in series.items():
+        if len(values) != len(group_labels):
+            raise ValueError(f"series {name!r} length mismatch")
+    all_values = [v for values in series.values() for v in values]
+    if not all_values:
+        return ""
+    top = vmax if vmax is not None else max(max(all_values), 1e-12)
+    name_w = max(len(n) for n in series)
+    lines = []
+    if title:
+        lines.append(title)
+    for g, group in enumerate(group_labels):
+        lines.append(f"{group}:")
+        for name, values in series.items():
+            filled = min(int(round(width * max(values[g], 0.0) / top)), width)
+            bar = (_BAR * filled).ljust(width)
+            lines.append(f"  {name.ljust(name_w)} | {bar} {values[g]:.3f}")
+    return "\n".join(lines)

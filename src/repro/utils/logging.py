@@ -1,0 +1,63 @@
+"""Minimal structured run logging.
+
+The simulator favours explicit return values over side-effect logging, but
+long experiments (50-epoch training sweeps) benefit from progress lines and
+a machine-readable record.  ``RunLogger`` provides both without pulling in a
+logging framework.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import Any, IO
+
+__all__ = ["RunLogger"]
+
+
+class RunLogger:
+    """Collects timestamped events and optionally echoes them to a stream.
+
+    >>> log = RunLogger(echo=False)
+    >>> log.event("epoch", epoch=1, acc=0.71)
+    >>> log.events[0]["kind"]
+    'epoch'
+    """
+
+    def __init__(self, echo: bool = True, stream: IO[str] | None = None):
+        self.echo = echo
+        self.stream = stream if stream is not None else sys.stderr
+        self.events: list[dict[str, Any]] = []
+        self._t0 = time.perf_counter()
+
+    def event(self, kind: str, **fields: Any) -> None:
+        """Record one event; echo a single human-readable line if enabled."""
+        record = {"t": round(time.perf_counter() - self._t0, 3), "kind": kind}
+        record.update(fields)
+        self.events.append(record)
+        if self.echo:
+            body = " ".join(f"{k}={_fmt(v)}" for k, v in fields.items())
+            print(f"[{record['t']:9.3f}s] {kind:<12} {body}", file=self.stream)
+
+    def dump_jsonl(self, path: str) -> None:
+        """Write all recorded events as JSON lines."""
+        with open(path, "w", encoding="utf-8") as fh:
+            for record in self.events:
+                fh.write(json.dumps(record, default=_json_default) + "\n")
+
+    def filter(self, kind: str) -> list[dict[str, Any]]:
+        """Return all events of one kind, in order."""
+        return [e for e in self.events if e["kind"] == kind]
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _json_default(value: Any) -> Any:
+    if hasattr(value, "item"):  # numpy scalars
+        return value.item()
+    return str(value)

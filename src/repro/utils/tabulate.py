@@ -1,0 +1,67 @@
+"""Plain-text rendering of the tables and series the benches print.
+
+The benchmark harness regenerates each figure of the paper as a text table
+(rows/series with the same structure the figure plots).  This module keeps
+the formatting in one place so every bench output looks consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["render_table", "render_series"]
+
+
+def _cell(value: Any, ndigits: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{ndigits}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+    ndigits: int = 2,
+) -> str:
+    """Render an aligned monospace table.
+
+    >>> print(render_table(["model", "acc"], [["vgg11", 0.913]], ndigits=3))
+    model  | acc
+    -------+------
+    vgg11  | 0.913
+    """
+    str_rows = [[_cell(v, ndigits) for v in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match header width")
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in str_rows)) if str_rows
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    name: str,
+    xs: Sequence[Any],
+    ys: Sequence[Any],
+    xlabel: str = "x",
+    ylabel: str = "y",
+    ndigits: int = 2,
+) -> str:
+    """Render one figure series as `x -> y` pairs (one per line)."""
+    if len(xs) != len(ys):
+        raise ValueError("series xs and ys must have equal length")
+    lines = [f"series: {name} ({xlabel} -> {ylabel})"]
+    for x, y in zip(xs, ys):
+        lines.append(f"  {_cell(x, ndigits)} -> {_cell(y, ndigits)}")
+    return "\n".join(lines)

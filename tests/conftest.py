@@ -1,0 +1,55 @@
+"""Shared fixtures: small hardware geometries that keep tests fast."""
+
+import numpy as np
+import pytest
+
+from repro.utils.config import ChipConfig, CrossbarConfig, FaultConfig, TrainConfig
+from repro.utils.rng import RngHub
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def hub() -> RngHub:
+    return RngHub(seed=7)
+
+
+@pytest.fixture
+def xbar_config() -> CrossbarConfig:
+    """A small 16x16 crossbar for unit tests."""
+    return CrossbarConfig(rows=16, cols=16)
+
+
+@pytest.fixture
+def chip_config(xbar_config: CrossbarConfig) -> ChipConfig:
+    """A small chip: 2x2 mesh, 2 tiles/router, 1 IMA, 4 crossbars/IMA."""
+    return ChipConfig(
+        mesh_rows=2,
+        mesh_cols=2,
+        tiles_per_router=2,
+        imas_per_tile=1,
+        crossbars_per_ima=4,
+        crossbar=xbar_config,
+    )
+
+
+@pytest.fixture
+def fault_config() -> FaultConfig:
+    return FaultConfig()
+
+
+@pytest.fixture
+def tiny_train_config() -> TrainConfig:
+    """The smallest training recipe that still exercises the full loop."""
+    return TrainConfig(
+        model="vgg11",
+        epochs=1,
+        batch_size=16,
+        n_train=32,
+        n_test=32,
+        width_mult=0.125,
+        image_size=32,
+    )

@@ -1,0 +1,51 @@
+"""March C- baseline tests: exact SAF coverage at higher cycle cost."""
+
+import numpy as np
+import pytest
+
+from repro.bist.march import march_cminus, march_cost_cycles
+from repro.bist.timing import BistTiming
+from repro.faults.types import FaultMap, FaultType
+from repro.utils.config import CrossbarConfig
+
+
+class TestMarchCoverage:
+    def test_detects_and_locates_every_saf(self, rng, xbar_config):
+        fm = FaultMap(16, 16)
+        cells = rng.choice(256, size=40, replace=False)
+        fm.inject(cells[:30], FaultType.SA0)
+        fm.inject(cells[30:], FaultType.SA1)
+        result = march_cminus(fm, xbar_config)
+        # March C- has 100% stuck-at coverage with exact localisation.
+        np.testing.assert_array_equal(result.detected, fm.codes)
+        assert result.sa0_count == 30
+        assert result.sa1_count == 10
+
+    def test_clean_crossbar_reports_nothing(self, xbar_config):
+        result = march_cminus(FaultMap(16, 16), xbar_config)
+        assert result.total_count == 0
+
+    def test_all_stuck_extremes(self, xbar_config):
+        fm = FaultMap(16, 16)
+        fm.codes[:, :8] = FaultType.SA0
+        fm.codes[:, 8:] = FaultType.SA1
+        result = march_cminus(fm, xbar_config)
+        np.testing.assert_array_equal(result.detected, fm.codes)
+
+
+class TestMarchCost:
+    def test_cycle_count_is_ten_row_passes(self, xbar_config):
+        assert march_cost_cycles(xbar_config) == 10 * xbar_config.rows
+        result = march_cminus(FaultMap(16, 16), xbar_config)
+        assert result.cycles == march_cost_cycles(xbar_config)
+
+    def test_march_costs_multiples_of_density_bist(self):
+        """The paper's argument: conventional tests are too expensive for
+        online (per-epoch) use; the density-only BIST is ~5x cheaper."""
+        cfg = CrossbarConfig()  # 128x128
+        march = march_cost_cycles(cfg)
+        bist = BistTiming(cfg).total_cycles
+        assert march == 1280
+        assert bist == 260
+        assert march / bist == pytest.approx(1280 / 260)
+        assert march > 4 * bist

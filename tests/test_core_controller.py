@@ -1,0 +1,116 @@
+"""Controller integration tests: full (tiny) experiments end to end."""
+
+import numpy as np
+import pytest
+
+from repro.core.controller import (
+    build_experiment,
+    inject_phase_faults,
+    run_experiment,
+    size_chip_for_model,
+)
+from repro.nn.models import build_model
+from repro.utils.config import (
+    ChipConfig,
+    CrossbarConfig,
+    ExperimentConfig,
+    FaultConfig,
+    TrainConfig,
+)
+
+
+def _tiny(policy: str = "none", **fault_kw) -> ExperimentConfig:
+    return ExperimentConfig(
+        train=TrainConfig(
+            model="vgg11", epochs=2, batch_size=16, n_train=48, n_test=32,
+            width_mult=0.125,
+        ),
+        chip=ChipConfig(crossbar=CrossbarConfig(rows=32, cols=32)),
+        faults=FaultConfig(**fault_kw),
+        policy=policy,
+        seed=11,
+    )
+
+
+class TestChipSizing:
+    def test_chip_fits_both_copies_with_slack(self, rng):
+        model = build_model("vgg16", 10, 0.125, rng)
+        base = ChipConfig(crossbar=CrossbarConfig(rows=32, cols=32))
+        sized = size_chip_for_model(model, base)
+        ctx = build_experiment(_tiny())
+        # binding succeeded in build_experiment; direct check on sized cfg:
+        assert sized.num_pairs > 0
+        assert sized.crossbars_per_ima % 2 == 0
+
+    def test_rejects_model_without_mvm_layers(self):
+        from repro.nn.layers import Sequential, Flatten
+
+        with pytest.raises(ValueError):
+            size_chip_for_model(Sequential(Flatten()), ChipConfig())
+
+
+class TestBuildExperiment:
+    def test_pre_faults_injected_when_enabled(self):
+        ctx = build_experiment(_tiny("none"))
+        assert ctx.chip.true_crossbar_densities().mean() > 0
+
+    def test_pre_faults_skipped_when_disabled(self):
+        ctx = build_experiment(_tiny("none", pre_enabled=False))
+        assert ctx.chip.true_crossbar_densities().sum() == 0
+
+    def test_phase_fault_targeting(self):
+        ctx = build_experiment(
+            _tiny("none", pre_enabled=False, post_enabled=False,
+                  phase_target="backward", phase_density=0.02)
+        )
+        fwd_faults = bwd_faults = 0
+        for m in ctx.engine.all_mappings():
+            for _, _, pid in m.iter_blocks():
+                pair = ctx.chip.pair(pid)
+                count = pair.pos.fault_map.count() + pair.neg.fault_map.count()
+                if m.phase == "forward":
+                    fwd_faults += count
+                else:
+                    bwd_faults += count
+        assert fwd_faults == 0
+        assert bwd_faults > 0
+
+    def test_inject_phase_faults_density(self):
+        ctx = build_experiment(_tiny("none", pre_enabled=False, post_enabled=False))
+        injected = inject_phase_faults(ctx, "forward", 0.01)
+        assert injected > 0
+
+
+class TestRunExperiment:
+    def test_result_fields_populated(self):
+        result = run_experiment(_tiny("none"))
+        assert result.policy == "none"
+        assert 0.0 <= result.final_accuracy <= 1.0
+        assert len(result.train_result.history) == 2
+        assert result.wall_seconds > 0
+
+    def test_post_faults_accumulate_over_epochs(self):
+        result = run_experiment(_tiny("none", post_n=0.5, post_m=0.01))
+        # chip density must exceed the pre-deployment mean after 2 epochs
+        # of heavy post-deployment injection.
+        assert result.mean_chip_density > 0.004
+
+    def test_remap_d_performs_remaps(self):
+        result = run_experiment(_tiny("remap-d"))
+        assert result.num_remaps > 0
+
+    def test_ideal_run_reports_zero_density(self):
+        result = run_experiment(_tiny("ideal"))
+        assert result.mean_chip_density == 0.0
+        assert result.num_remaps == 0
+
+    def test_determinism_same_seed(self):
+        a = run_experiment(_tiny("none"))
+        b = run_experiment(_tiny("none"))
+        assert a.final_accuracy == b.final_accuracy
+        assert a.mean_chip_density == b.mean_chip_density
+
+    def test_summary_row_shape(self):
+        result = run_experiment(_tiny("ideal"))
+        row = result.summary_row()
+        assert row[0] == "vgg11" and row[2] == "ideal"

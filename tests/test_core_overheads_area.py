@@ -1,0 +1,147 @@
+"""Overhead accounting and area/power model tests."""
+
+import numpy as np
+import pytest
+
+from repro.area.constants import DEFAULT_AREA
+from repro.area.models import (
+    bist_area_overhead,
+    chip_area_mm2,
+    ima_area_mm2,
+    policy_area_overhead,
+    tile_area_mm2,
+)
+from repro.area.power import (
+    DEFAULT_ENERGY,
+    estimate_epoch_flit_hops,
+    remap_power_fraction,
+)
+from repro.core.controller import build_experiment
+from repro.core.overheads import (
+    bist_overhead_fraction,
+    epoch_traffic_model,
+    estimate_mvms_per_sample,
+    monte_carlo_remap_overhead,
+    remap_noc_overhead,
+)
+from repro.nn.tensor import Tensor
+from repro.noc.topology import CMesh
+from repro.noc.traffic import TrainingTrafficModel
+from repro.utils.config import (
+    ChipConfig,
+    CrossbarConfig,
+    ExperimentConfig,
+    FaultConfig,
+    TrainConfig,
+)
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    cfg = ExperimentConfig(
+        train=TrainConfig(
+            model="vgg11", epochs=1, batch_size=16, n_train=32, n_test=32,
+            width_mult=0.125,
+        ),
+        chip=ChipConfig(crossbar=CrossbarConfig(rows=32, cols=32)),
+        faults=FaultConfig(pre_enabled=False, post_enabled=False),
+        policy="none",
+        seed=0,
+    )
+    context = build_experiment(cfg)
+    # one forward pass so conv layers record their output sizes
+    x = Tensor(context.dataset.x_train[:2])
+    context.model.eval()
+    context.model(x)
+    return context
+
+
+class TestTimingOverheads:
+    def test_mvm_count_positive(self, ctx):
+        mvms = estimate_mvms_per_sample(ctx.model, ctx.engine)
+        assert mvms > 100  # many conv positions x blocks
+
+    def test_bist_overhead_fraction_small(self, ctx):
+        traffic = epoch_traffic_model(
+            ctx.model, ctx.engine, samples=50_000, batches=390
+        )
+        frac = bist_overhead_fraction(traffic, ctx.chip.config)
+        assert 0.0 < frac < 0.05  # sub-percent territory
+
+    def test_remap_noc_overhead(self):
+        cmesh = CMesh(4, 4, concentration=4)
+        traffic = TrainingTrafficModel(
+            samples=50_000, batches=390, mvms_per_sample=3000
+        )
+        frac, phases = remap_noc_overhead(
+            [0, 5], {0: [8, 9], 5: [10]}, {0: 8, 5: 10}, cmesh, traffic
+        )
+        assert frac > 0
+        assert phases["request"] > 0
+        assert phases["transfer"] > 0
+
+    def test_remap_overhead_zero_without_senders(self):
+        cmesh = CMesh(2, 2, concentration=2)
+        traffic = TrainingTrafficModel(samples=100, batches=5, mvms_per_sample=10)
+        frac, phases = remap_noc_overhead([], {}, {}, cmesh, traffic)
+        assert frac == 0.0
+        assert sum(phases.values()) == 0
+
+    def test_monte_carlo_mean_below_worst(self, rng):
+        cmesh = CMesh(4, 4, concentration=4)
+        traffic = TrainingTrafficModel(
+            samples=50_000, batches=390, mvms_per_sample=3000
+        )
+        mean, worst = monte_carlo_remap_overhead(cmesh, traffic, rng, rounds=10)
+        assert 0 < mean <= worst
+
+
+class TestAreaModels:
+    def test_roll_up_hierarchy(self):
+        cfg = ChipConfig()
+        assert ima_area_mm2(cfg) < tile_area_mm2(cfg) < chip_area_mm2(cfg)
+
+    def test_bist_overhead_near_paper_value(self):
+        """Paper: BIST adds ~0.61% of RCS area."""
+        frac = bist_area_overhead(ChipConfig())
+        assert 0.002 < frac < 0.02
+
+    def test_policy_overhead_ordering(self):
+        """Paper: BIST (0.61%) << AN code (6.3%) < Remap-T-10% (10%)."""
+        cfg = ChipConfig()
+        remap_d = policy_area_overhead("remap-d", cfg)
+        an = policy_area_overhead("an-code", cfg)
+        remap_t = policy_area_overhead("remap-t", cfg)
+        assert remap_d < an < remap_t
+        assert an == pytest.approx(0.063)
+        assert remap_t == pytest.approx(0.10)
+
+    def test_free_policies(self):
+        cfg = ChipConfig()
+        for name in ("none", "ideal", "static"):
+            assert policy_area_overhead(name, cfg) == 0.0
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            policy_area_overhead("warp-drive", ChipConfig())
+
+
+class TestPowerModel:
+    def test_epoch_flit_hops(self, ctx):
+        hops = estimate_epoch_flit_hops(ctx.model, samples=1000)
+        assert hops > 1000
+
+    def test_remap_power_fraction_below_paper_bound(self, ctx):
+        epoch_hops = estimate_epoch_flit_hops(ctx.model, samples=50_000)
+        # A generous remap phase: 100 transfers x 2048 flits x 3 hops.
+        remap_hops = 100 * 2048 * 3
+        frac = remap_power_fraction(remap_hops, epoch_hops)
+        assert frac < 0.005  # paper: < 0.5% power overhead
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            remap_power_fraction(1.0, 0.0)
+        with pytest.raises(ValueError):
+            remap_power_fraction(-1.0, 10.0)
+        with pytest.raises(ValueError):
+            estimate_epoch_flit_hops(None, samples=0)  # type: ignore[arg-type]

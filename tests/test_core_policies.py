@@ -1,0 +1,127 @@
+"""Policy behaviour tests (fast: tiny model, one epoch where needed)."""
+
+import numpy as np
+import pytest
+
+from repro.core.controller import build_experiment
+from repro.core.policies import (
+    POLICY_NAMES,
+    ANCodePolicy,
+    IdealPolicy,
+    RemapDPolicy,
+    RemapTNPolicy,
+    RemapWSPolicy,
+    StaticMappingPolicy,
+    make_policy,
+)
+from repro.core.tasks import enumerate_tasks
+from repro.utils.config import (
+    ChipConfig,
+    CrossbarConfig,
+    ExperimentConfig,
+    FaultConfig,
+    TrainConfig,
+)
+
+
+def _config(policy: str, param: float = 0.0, **fault_kw) -> ExperimentConfig:
+    return ExperimentConfig(
+        train=TrainConfig(
+            model="vgg11", epochs=1, batch_size=16, n_train=32, n_test=32,
+            width_mult=0.125,
+        ),
+        chip=ChipConfig(crossbar=CrossbarConfig(rows=32, cols=32)),
+        faults=FaultConfig(**fault_kw),
+        policy=policy,
+        policy_param=param,
+        seed=3,
+    )
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", POLICY_NAMES)
+    def test_all_names_constructible(self, name):
+        assert make_policy(name).name == name
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_policy("magic")
+
+    def test_parameters_forwarded(self):
+        p = make_policy("remap-t", param=0.2)
+        assert isinstance(p, RemapTNPolicy)
+        assert p.fraction == 0.2
+        assert p.area_overhead == 0.2
+
+
+class TestIdeal:
+    def test_disables_faults(self):
+        ctx = build_experiment(_config("ideal"))
+        assert not ctx.engine.faults_enabled
+        assert ctx.chip.true_crossbar_densities().sum() == 0
+
+
+class TestStaticMapping:
+    def test_backward_tasks_get_cleanest_pairs(self):
+        ctx = build_experiment(_config("static"))
+        densities = ctx.chip.true_pair_densities()
+        tasks = enumerate_tasks(ctx.engine.all_mappings())
+        bwd = [densities[t.pair_id] for t in tasks if t.phase == "backward"]
+        fwd = [densities[t.pair_id] for t in tasks if t.phase == "forward"]
+        assert np.mean(bwd) <= np.mean(fwd)
+        assert max(bwd) <= max(fwd) + 1e-12
+
+
+class TestANCode:
+    def test_overrides_installed_for_every_layer(self):
+        ctx = build_experiment(_config("an-code"))
+        assert set(ctx.engine._overrides) == set(ctx.engine.copies)
+
+    def test_low_density_faults_neutralised(self):
+        ctx = build_experiment(_config("an-code", clustered=False,
+                                       pre_high_fraction=0.0,
+                                       pre_low_density=(0.001, 0.002)))
+        # With sparse uniform faults nearly every column holds <= 1 fault,
+        # so nearly all faulty positions are overridden.
+        total_uncorrected = 0
+        for key, (fwd_m, bwd_m) in ctx.engine._overrides.items():
+            total_uncorrected += int((~fwd_m).sum()) + int((~bwd_m).sum())
+        chip_faults = int(
+            sum(xb.fault_map.count() for xb in ctx.chip.crossbars)
+        )
+        assert chip_faults > 0
+        assert total_uncorrected < 0.25 * chip_faults
+
+
+class TestRemapWS:
+    def test_protects_requested_fraction_forward_only(self):
+        ctx = build_experiment(_config("remap-ws", param=0.05))
+        for key, (fwd_mask, bwd_mask) in ctx.engine._overrides.items():
+            assert bwd_mask is None  # inference-time scheme
+            frac = fwd_mask.mean()
+            assert 0.01 <= frac <= 0.25  # ~5%, loose for tiny layers
+
+
+class TestRemapD:
+    def test_deployment_pass_runs_at_setup(self):
+        ctx = build_experiment(_config("remap-d"))
+        assert ctx.remap_plans
+        epoch, plan = ctx.remap_plans[0]
+        assert epoch == -1
+
+    def test_remaps_reduce_backward_exposure(self):
+        cfg = _config("remap-d")
+        ctx = build_experiment(cfg)
+
+        def bwd_exposure(context):
+            total = 0
+            for m in context.engine.all_mappings():
+                if m.phase != "backward":
+                    continue
+                for _, _, pid in m.iter_blocks():
+                    pair = context.chip.pair(pid)
+                    total += pair.pos.fault_map.count() + pair.neg.fault_map.count()
+            return total
+
+        baseline = build_experiment(_config("none"))
+        assert bwd_exposure(ctx) <= bwd_exposure(baseline)

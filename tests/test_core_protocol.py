@@ -1,0 +1,154 @@
+"""Remap protocol tests: sender/receiver selection, execution, hysteresis."""
+
+import numpy as np
+import pytest
+
+from repro.core.remap_protocol import IdleSlot, RemapProtocol
+from repro.core.tasks import Task, enumerate_tasks, phase_tolerance_rank
+from repro.reram.chip import Chip
+
+
+@pytest.fixture
+def chip(chip_config) -> Chip:
+    return Chip(chip_config)
+
+
+def _setup(chip) -> tuple[list[Task], np.ndarray]:
+    bwd = chip.allocate_layer_copy("l:bwd", "backward", (16, 16))
+    fwd = chip.allocate_layer_copy("l:fwd", "forward", (16, 16))
+    tasks = enumerate_tasks([bwd, fwd])
+    densities = np.zeros(chip.num_pairs)
+    return tasks, densities
+
+
+class TestTaskAbstraction:
+    def test_backward_ranks_less_tolerant(self):
+        assert phase_tolerance_rank("backward") < phase_tolerance_rank("forward")
+
+    def test_unknown_phase_rejected(self):
+        with pytest.raises(ValueError):
+            phase_tolerance_rank("diagonal")
+
+    def test_enumerate_covers_all_blocks(self, chip):
+        m = chip.allocate_layer_copy("x", "forward", (40, 16))
+        tasks = enumerate_tasks([m])
+        assert len(tasks) == m.num_blocks
+        assert {t.pair_id for t in tasks} == set(map(int, m.pair_ids.ravel()))
+
+
+class TestPlanning:
+    def test_no_senders_below_threshold(self, chip):
+        tasks, densities = _setup(chip)
+        plan = RemapProtocol(chip, threshold=0.01).plan(tasks, densities)
+        assert plan.num_remaps == 0
+
+    def test_backward_task_over_threshold_remaps(self, chip):
+        tasks, densities = _setup(chip)
+        bwd_task = next(t for t in tasks if t.phase == "backward")
+        densities[bwd_task.pair_id] = 0.05
+        plan = RemapProtocol(chip, threshold=0.01).plan(tasks, densities)
+        assert plan.num_remaps == 1
+        assert plan.decisions[0].sender is bwd_task
+
+    def test_forward_tasks_never_send_with_phase_priority(self, chip):
+        tasks, densities = _setup(chip)
+        fwd_task = next(t for t in tasks if t.phase == "forward")
+        densities[fwd_task.pair_id] = 0.05
+        plan = RemapProtocol(chip, threshold=0.01).plan(tasks, densities)
+        assert plan.num_remaps == 0
+
+    def test_receiver_must_have_lower_density(self, chip):
+        tasks, densities = _setup(chip)
+        densities[:] = 0.05  # everything equally bad -> no receiver
+        plan = RemapProtocol(chip, threshold=0.01).plan(tasks, densities)
+        assert plan.num_remaps == 0
+
+    def test_idle_pairs_preferred_over_task_receivers(self, chip):
+        tasks, densities = _setup(chip)
+        bwd_task = next(t for t in tasks if t.phase == "backward")
+        densities[bwd_task.pair_id] = 0.05
+        idle = chip.idle_pair_ids()
+        plan = RemapProtocol(chip, threshold=0.01).plan(
+            tasks, densities, idle_pairs=idle
+        )
+        assert isinstance(plan.decisions[0].receiver, IdleSlot)
+
+    def test_settle_hysteresis_prefers_below_threshold(self, chip):
+        tasks, densities = _setup(chip)
+        sender = next(t for t in tasks if t.phase == "backward")
+        densities[sender.pair_id] = 0.05
+        # a barely-better task receiver and a clean idle pair
+        idle = chip.idle_pair_ids()[:1]
+        fwd_task = next(t for t in tasks if t.phase == "forward")
+        densities[fwd_task.pair_id] = 0.049
+        plan = RemapProtocol(chip, threshold=0.01).plan(
+            tasks, densities, idle_pairs=idle
+        )
+        assert plan.decisions[0].receiver_density <= 0.01
+
+    def test_each_receiver_used_once(self, chip):
+        bwd = chip.allocate_layer_copy("b", "backward", (40, 16))
+        fwd = chip.allocate_layer_copy("f", "forward", (16, 16))
+        tasks = enumerate_tasks([bwd, fwd])
+        densities = np.zeros(chip.num_pairs)
+        for t in tasks:
+            if t.phase == "backward":
+                densities[t.pair_id] = 0.05
+        plan = RemapProtocol(chip, threshold=0.01).plan(tasks, densities)
+        receivers = [id(d.receiver) for d in plan.decisions]
+        assert len(receivers) == len(set(receivers))
+
+    def test_worst_sender_served_first(self, chip):
+        tasks, densities = _setup(chip)
+        bwd_tasks = [t for t in tasks if t.phase == "backward"]
+        densities[bwd_tasks[0].pair_id] = 0.02
+        if len(bwd_tasks) > 1:
+            densities[bwd_tasks[1].pair_id] = 0.08
+        plan = RemapProtocol(chip, threshold=0.01).plan(tasks, densities)
+        assert plan.decisions[0].sender_density == max(
+            d.sender_density for d in plan.decisions
+        )
+
+    def test_invalid_parameters(self, chip):
+        with pytest.raises(ValueError):
+            RemapProtocol(chip, threshold=2.0)
+        with pytest.raises(ValueError):
+            RemapProtocol(chip, receiver_rule="teleport")
+
+
+class TestExecution:
+    def test_swap_execution_moves_both_tasks(self, chip):
+        tasks, densities = _setup(chip)
+        sender = next(t for t in tasks if t.phase == "backward")
+        densities[sender.pair_id] = 0.05
+        protocol = RemapProtocol(chip, threshold=0.01)
+        plan = protocol.plan(tasks, densities)  # no idle pairs offered
+        old_sender_pair = sender.pair_id
+        receiver = plan.decisions[0].receiver
+        old_receiver_pair = receiver.pair_id
+        protocol.execute(plan)
+        assert sender.pair_id == old_receiver_pair
+        assert receiver.pair_id == old_sender_pair
+
+    def test_idle_execution_moves_one_way(self, chip):
+        tasks, densities = _setup(chip)
+        sender = next(t for t in tasks if t.phase == "backward")
+        densities[sender.pair_id] = 0.05
+        old_pair = sender.pair_id
+        protocol = RemapProtocol(chip, threshold=0.01)
+        plan = protocol.plan(tasks, densities, idle_pairs=chip.idle_pair_ids())
+        protocol.execute(plan)
+        assert sender.pair_id != old_pair
+        assert old_pair in chip.idle_pair_ids()
+
+    def test_plan_carries_noc_metadata(self, chip):
+        tasks, densities = _setup(chip)
+        sender = next(t for t in tasks if t.phase == "backward")
+        densities[sender.pair_id] = 0.05
+        plan = RemapProtocol(chip, threshold=0.01).plan(
+            tasks, densities, idle_pairs=chip.idle_pair_ids()
+        )
+        assert plan.sender_tiles
+        s_tile = plan.sender_tiles[0]
+        assert s_tile in plan.matches
+        assert plan.total_hops() >= 0

@@ -1,0 +1,155 @@
+"""Additional behavioural tests for corners the main suites skip."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.layers import BatchNorm2d, Conv2d, Linear, Module, Sequential
+from repro.nn.models import build_model
+from repro.nn.tensor import Tensor, set_default_dtype, get_default_dtype
+from repro.noc.topology import CMesh, Mesh
+from repro.reram.ima import IMA
+from repro.reram.crossbar import Crossbar
+from repro.reram.tile import Tile
+from repro.utils.config import CrossbarConfig
+
+
+class TestModuleMode:
+    def test_train_eval_propagates(self, rng):
+        model = build_model("vgg11", 10, 0.125, rng)
+        model.eval()
+        assert all(not m.training for _, m in model.named_modules())
+        model.train()
+        assert all(m.training for _, m in model.named_modules())
+
+    def test_named_parameters_unique(self, rng):
+        model = build_model("resnet12", 10, 0.125, rng)
+        names = [n for n, _ in model.named_parameters()]
+        assert len(names) == len(set(names))
+
+    def test_zero_grad_clears(self, rng):
+        lin = Linear(4, 3, rng=rng)
+        lin.weight.grad[:] = 1.0
+        lin.zero_grad()
+        assert lin.weight.grad.sum() == 0
+
+
+class TestBatchNormEval:
+    def test_eval_uses_running_stats(self, rng):
+        bn = BatchNorm2d(2)
+        x = Tensor(rng.normal(2.0, 3.0, size=(8, 2, 4, 4)))
+        bn.train()
+        for _ in range(50):
+            bn(x)
+        bn.eval()
+        out = bn(x)
+        # running stats converge toward batch stats -> output ~ standard.
+        assert abs(float(out.data.mean())) < 0.3
+        assert abs(float(out.data.std()) - 1.0) < 0.3
+
+    def test_shape_validation(self):
+        bn = BatchNorm2d(3)
+        with pytest.raises(ValueError):
+            bn(Tensor(np.zeros((2, 4, 4, 4))))
+
+
+class TestDtypeSwitch:
+    def test_set_default_dtype_roundtrip(self):
+        old = get_default_dtype()
+        try:
+            set_default_dtype(np.float64)
+            assert Tensor(np.zeros(2)).data.dtype == np.float64
+            set_default_dtype(np.float32)
+            assert Tensor(np.zeros(2)).data.dtype == np.float32
+        finally:
+            set_default_dtype(old)
+
+    def test_rejects_exotic_dtype(self):
+        with pytest.raises(ValueError):
+            set_default_dtype(np.int32)
+
+
+class TestSequential:
+    def test_iteration_and_len(self, rng):
+        seq = Sequential(Linear(4, 4, rng=rng), Linear(4, 2, rng=rng))
+        assert len(seq) == 2
+        assert all(isinstance(m, Linear) for m in seq)
+
+    def test_linear_requires_2d(self, rng):
+        lin = Linear(4, 2, rng=rng)
+        with pytest.raises(ValueError):
+            lin(Tensor(np.zeros((2, 4, 1, 1))))
+
+
+class TestPoolingValidation:
+    def test_maxpool_requires_divisible(self):
+        with pytest.raises(ValueError):
+            F.maxpool2d(Tensor(np.zeros((1, 1, 5, 4))), 2)
+
+    def test_avgpool_requires_divisible(self):
+        with pytest.raises(ValueError):
+            F.avgpool2d(Tensor(np.zeros((1, 1, 4, 5))), 2)
+
+    def test_conv_output_collapse_rejected(self):
+        with pytest.raises(ValueError):
+            F.conv_output_size(2, 5, 1, 0)
+
+
+class TestHardwareTree:
+    def test_ima_peripherals_inventory(self, xbar_config):
+        ima = IMA(0, [Crossbar(i, xbar_config) for i in range(4)])
+        assert ima.num_crossbars == 4
+        assert ima.peripherals.dacs == xbar_config.rows
+        assert ima.peripherals.has_bist
+        assert ima.max_density() == 0.0
+
+    def test_ima_requires_crossbars(self):
+        with pytest.raises(ValueError):
+            IMA(0, [])
+
+    def test_tile_aggregates_imas(self, xbar_config):
+        imas = [IMA(i, [Crossbar(i * 2 + k, xbar_config) for k in range(2)])
+                for i in range(3)]
+        tile = Tile(0, imas, router_id=1)
+        assert tile.num_crossbars == 6
+        assert len(tile.crossbar_ids()) == 6
+
+    def test_tile_requires_imas(self):
+        with pytest.raises(ValueError):
+            Tile(0, [], router_id=0)
+
+
+class TestTopologyValidation:
+    def test_mesh_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Mesh(0, 3)
+
+    def test_cmesh_rejects_bad_concentration(self):
+        with pytest.raises(ValueError):
+            CMesh(2, 2, concentration=0)
+
+    def test_cmesh_tile_range_checked(self):
+        cm = CMesh(2, 2, concentration=2)
+        with pytest.raises(ValueError):
+            cm.router_of(8)
+
+    def test_next_hop_at_destination_rejected(self):
+        m = Mesh(2, 2)
+        with pytest.raises(ValueError):
+            m.xy_next_hop(1, 1)
+
+    def test_router_at_bounds(self):
+        m = Mesh(2, 3)
+        with pytest.raises(ValueError):
+            m.router_at(2, 0)
+
+
+class TestSoftmaxStability:
+    def test_large_logits_do_not_overflow(self):
+        probs = F.softmax(np.array([[1000.0, 0.0]]))
+        assert np.isfinite(probs).all()
+        assert probs[0, 0] == pytest.approx(1.0)
+
+    def test_cross_entropy_label_validation(self):
+        with pytest.raises(ValueError):
+            F.softmax_cross_entropy(Tensor(np.zeros((2, 3))), np.zeros((2, 2)))

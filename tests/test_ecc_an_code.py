@@ -1,0 +1,99 @@
+"""AN-code codec and behavioural-bridge tests."""
+
+import numpy as np
+import pytest
+
+from repro.ecc.an_code import ANCode, CorrectionStats, column_correctable_mask
+from repro.faults.types import FaultMap, FaultType
+
+
+class TestCodec:
+    def test_encode_multiplies(self):
+        code = ANCode(a=251)
+        np.testing.assert_array_equal(
+            code.encode(np.array([0, 1, -3])), [0, 251, -753]
+        )
+
+    def test_clean_decode_roundtrip(self, rng):
+        code = ANCode(a=251)
+        x = rng.integers(-1000, 1000, 64)
+        np.testing.assert_array_equal(code.decode(code.encode(x)), x)
+
+    def test_corrects_small_errors(self, rng):
+        code = ANCode(a=251)
+        x = rng.integers(-100, 100, 128)
+        e = rng.integers(-code.t, code.t + 1, 128)
+        np.testing.assert_array_equal(code.decode(code.encode(x) + e), x)
+
+    def test_large_errors_miscorrect(self):
+        code = ANCode(a=251, t=50)
+        x = np.array([10])
+        received = code.encode(x) + 251  # aliases to the next codeword
+        assert code.decode(received)[0] == 11
+
+    def test_stats_tally(self, rng):
+        code = ANCode(a=251, t=50)
+        stats = CorrectionStats()
+        x = np.zeros(3, dtype=np.int64)
+        received = code.encode(x) + np.array([0, 13, 120])
+        code.decode(received, stats)
+        assert stats.clean == 1
+        assert stats.corrected == 1
+        assert stats.miscorrected == 1
+        assert stats.total == 3
+
+    def test_syndrome_symmetric(self):
+        code = ANCode(a=7)
+        syn = code.syndrome(np.array([7, 8, 6, 13]))
+        np.testing.assert_array_equal(syn, [0, 1, -1, -1])
+
+    def test_is_correctable_radius(self):
+        code = ANCode(a=251, t=40)
+        assert code.is_correctable(np.array([40]))[0]
+        assert not code.is_correctable(np.array([41]))[0]
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ANCode(a=2)
+        with pytest.raises(ValueError):
+            ANCode(a=11, t=6)  # 2t >= A
+
+    def test_encode_requires_integers(self):
+        with pytest.raises(TypeError):
+            ANCode().encode(np.array([0.5]))
+
+
+class TestColumnCorrectableMask:
+    def test_sparse_columns_corrected(self):
+        fm = FaultMap(8, 8)
+        fm.inject_cells(np.array([0]), np.array([0]), FaultType.SA0)  # col 0: 1 fault
+        fm.inject_cells(np.array([0, 1]), np.array([2, 2]), FaultType.SA1)  # col 2: 2
+        mask = column_correctable_mask(fm, per_column_capacity=1)
+        assert mask[0, 0]  # single fault in column -> cancelled
+        assert not mask[0, 2] and not mask[1, 2]  # saturated column keeps faults
+
+    def test_capacity_zero_corrects_nothing(self):
+        fm = FaultMap(4, 4)
+        fm.inject(np.array([0]), FaultType.SA0)
+        assert not column_correctable_mask(fm, 0).any()
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            column_correctable_mask(FaultMap(4, 4), -1)
+
+    def test_clustered_faults_defeat_the_code(self, rng):
+        """The paper's argument: clustering concentrates faults in columns,
+        pushing them beyond the correction capability."""
+        from repro.faults.distribution import clustered_cells
+
+        fm_clustered = FaultMap(32, 32)
+        cells = clustered_cells(rng, 32, 32, 40, cluster_fraction=1.0)
+        fm_clustered.inject(cells, FaultType.SA0)
+
+        fm_uniform = FaultMap(32, 32)
+        cells = clustered_cells(rng, 32, 32, 40, cluster_fraction=0.0)
+        fm_uniform.inject(cells, FaultType.SA0)
+
+        corr_clustered = column_correctable_mask(fm_clustered, 1).sum()
+        corr_uniform = column_correctable_mask(fm_uniform, 1).sum()
+        assert corr_clustered < corr_uniform

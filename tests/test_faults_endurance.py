@@ -1,0 +1,76 @@
+"""Wear tracking and endurance-model tests."""
+
+import numpy as np
+import pytest
+
+from repro.faults.endurance import EnduranceModel, WearTracker
+
+
+class TestWearTracker:
+    def test_record_accumulates(self):
+        wt = WearTracker(5)
+        wt.record([0, 2], count=3)
+        wt.record([2], count=1)
+        np.testing.assert_array_equal(wt.writes, [3, 0, 4, 0, 0])
+
+    def test_duplicate_ids_accumulate(self):
+        wt = WearTracker(3)
+        wt.record(np.array([1, 1, 1]), count=2)
+        assert wt.writes[1] == 6
+
+    def test_selection_weights_sum_to_one(self):
+        wt = WearTracker(4)
+        wt.record([0], count=100)
+        w = wt.selection_weights()
+        assert w.sum() == pytest.approx(1.0)
+        assert w[0] > w[1]
+
+    def test_uniform_floor_for_unwritten(self):
+        wt = WearTracker(4)
+        w = wt.selection_weights()
+        np.testing.assert_allclose(w, 0.25)
+
+    def test_out_of_range_rejected(self):
+        wt = WearTracker(2)
+        with pytest.raises(IndexError):
+            wt.record([5])
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            WearTracker(2).record([0], count=-1)
+
+    def test_copy_independent(self):
+        wt = WearTracker(2)
+        clone = wt.copy()
+        wt.record([0])
+        assert clone.writes[0] == 0
+
+
+class TestEnduranceModel:
+    def test_cdf_monotone(self):
+        m = EnduranceModel(mean_cycles=1e6)
+        w = np.array([0.0, 1e4, 1e5, 1e6, 1e7, 1e8])
+        cdf = m.failure_cdf(w)
+        assert (np.diff(cdf) >= -1e-12).all()
+        assert cdf[0] == 0.0
+        assert cdf[-1] > 0.99
+
+    def test_median_at_mean_cycles(self):
+        m = EnduranceModel(mean_cycles=1e6, sigma=0.8)
+        assert m.failure_cdf(np.array([1e6]))[0] == pytest.approx(0.5, abs=0.01)
+
+    def test_incremental_probability_bounds(self):
+        m = EnduranceModel(mean_cycles=1e5)
+        p = m.incremental_failure_prob(np.array([1e4]), np.array([1e6]))
+        assert 0.0 < p[0] <= 1.0
+
+    def test_incremental_rejects_decreasing_writes(self):
+        m = EnduranceModel()
+        with pytest.raises(ValueError):
+            m.incremental_failure_prob(np.array([10.0]), np.array([5.0]))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            EnduranceModel(mean_cycles=-1)
+        with pytest.raises(ValueError):
+            EnduranceModel(sigma=0)

@@ -1,0 +1,99 @@
+"""Pre/post-deployment fault-injection tests."""
+
+import numpy as np
+import pytest
+
+from repro.faults.endurance import EnduranceModel, WearTracker
+from repro.faults.injector import FaultInjector
+from repro.faults.types import FaultMap, FaultType
+from repro.utils.config import FaultConfig
+
+
+def _maps(n: int, rows: int = 32, cols: int = 32) -> list[FaultMap]:
+    return [FaultMap(rows, cols) for _ in range(n)]
+
+
+class TestPreDeployment:
+    def test_realised_densities_match_targets(self, rng):
+        maps = _maps(200)
+        inj = FaultInjector(FaultConfig(), rng)
+        targets = inj.inject_pre_deployment(maps)
+        realised = np.array([m.density for m in maps])
+        # realised = round(target * cells) / cells
+        np.testing.assert_allclose(realised, targets, atol=0.5 / (32 * 32))
+
+    def test_sa0_sa1_ratio_roughly_nine_to_one(self, rng):
+        maps = _maps(300)
+        inj = FaultInjector(FaultConfig(), rng)
+        inj.inject_pre_deployment(maps)
+        sa0 = sum(m.count(FaultType.SA0) for m in maps)
+        sa1 = sum(m.count(FaultType.SA1) for m in maps)
+        assert sa0 / max(sa1, 1) == pytest.approx(9.0, rel=0.35)
+
+    def test_history_recorded(self, rng):
+        maps = _maps(50)
+        inj = FaultInjector(FaultConfig(), rng)
+        inj.inject_pre_deployment(maps)
+        assert all(epoch == -1 for epoch, _, _ in inj.history)
+
+
+class TestPostDeployment:
+    def test_hits_configured_fraction(self, rng):
+        maps = _maps(100)
+        cfg = FaultConfig(post_n=0.10, post_m=0.01, wear_weighted=False)
+        inj = FaultInjector(cfg, rng)
+        hit = inj.inject_post_epoch(maps, epoch=0)
+        assert len(hit) == 10
+        for xbar_id in hit:
+            assert maps[xbar_id].count() == round(0.01 * 1024)
+
+    def test_zero_rate_is_noop(self, rng):
+        maps = _maps(10)
+        inj = FaultInjector(FaultConfig(post_n=0.0), rng)
+        assert inj.inject_post_epoch(maps) == []
+
+    def test_wear_weighting_prefers_written_crossbars(self, rng):
+        maps = _maps(100)
+        wear = WearTracker(100)
+        hot = np.arange(10)
+        wear.record(hot, count=10_000)
+        cfg = FaultConfig(post_n=0.05, post_m=0.01, wear_weighted=True)
+        inj = FaultInjector(cfg, rng)
+        hits: list[int] = []
+        for epoch in range(40):
+            hits.extend(inj.inject_post_epoch(maps, wear, epoch))
+        hot_share = np.isin(hits, hot).mean()
+        # hot crossbars are 10% of the chip but absorb the vast majority.
+        assert hot_share > 0.6
+
+    def test_densities_monotone_over_epochs(self, rng):
+        maps = _maps(20)
+        cfg = FaultConfig(post_n=0.5, post_m=0.01, wear_weighted=False)
+        inj = FaultInjector(cfg, rng)
+        last = np.zeros(20)
+        for epoch in range(5):
+            inj.inject_post_epoch(maps, epoch=epoch)
+            now = np.array([m.density for m in maps])
+            assert (now >= last - 1e-12).all()
+            last = now
+
+
+class TestEnduranceDriven:
+    def test_endurance_mode_injects_for_worn_crossbars(self, rng):
+        maps = _maps(10)
+        model = EnduranceModel(mean_cycles=1e4, sigma=0.5)
+        before = np.zeros(10)
+        after = np.full(10, 2e4)  # written well past mean endurance
+        inj = FaultInjector(FaultConfig(), rng)
+        hit = inj.inject_post_epoch_endurance(maps, before, after, model)
+        assert len(hit) == 10
+        assert all(m.count() > 0 for m in maps)
+
+    def test_unworn_crossbars_unaffected(self, rng):
+        maps = _maps(10)
+        model = EnduranceModel(mean_cycles=1e9)
+        inj = FaultInjector(FaultConfig(), rng)
+        hit = inj.inject_post_epoch_endurance(
+            maps, np.zeros(10), np.full(10, 10.0), model
+        )
+        assert hit == []

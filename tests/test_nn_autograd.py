@@ -1,0 +1,193 @@
+"""Autograd correctness: numeric gradient checks on every layer type."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.layers import (
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    Module,
+    Sequential,
+)
+from repro.nn.tensor import Tensor, get_default_dtype, set_default_dtype
+
+
+@pytest.fixture(autouse=True)
+def float64_mode():
+    """Numeric grad checks need double precision."""
+    old = get_default_dtype()
+    set_default_dtype(np.float64)
+    yield
+    set_default_dtype(old)
+
+
+def numeric_grad(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    grad = np.zeros_like(x)
+    flat = x.ravel()
+    gflat = grad.ravel()
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        up = fn()
+        flat[i] = orig - eps
+        down = fn()
+        flat[i] = orig
+        gflat[i] = (up - down) / (2 * eps)
+    return grad
+
+
+class TestTensorBasics:
+    def test_add_mul_backward(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        ((a + b) * b).sum().backward()
+        np.testing.assert_allclose(a.grad, b.data)
+        np.testing.assert_allclose(b.grad, a.data + 2 * b.data)
+
+    def test_broadcast_add_unbroadcasts_grad(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4,)), requires_grad=True)
+        (a + b).sum().backward()
+        np.testing.assert_allclose(b.grad, np.full(4, 3.0))
+
+    def test_mean_and_reshape(self, rng):
+        x = Tensor(rng.normal(size=(2, 8)), requires_grad=True)
+        x.reshape(4, 4).mean().backward()
+        np.testing.assert_allclose(x.grad, np.full((2, 8), 1 / 16))
+
+    def test_backward_requires_scalar(self, rng):
+        x = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (x + x).backward()
+
+    def test_backward_on_detached_rejected(self, rng):
+        x = Tensor(rng.normal(size=(1,)))
+        with pytest.raises(RuntimeError):
+            x.backward()
+
+    def test_deep_graph_does_not_recurse(self, rng):
+        x = Tensor(np.ones(1), requires_grad=True)
+        y = x
+        for _ in range(5000):
+            y = y + x
+        y.sum().backward()
+        assert x.grad is not None
+
+
+def _loss_of(module: Module, x: Tensor) -> float:
+    out = module(x)
+    return float((out.data ** 2).sum())
+
+
+def check_input_grad(module: Module, x_data: np.ndarray, atol: float = 2e-5):
+    """Compare autograd input gradient of sum(out^2) with numeric grad."""
+    x = Tensor(x_data, requires_grad=True)
+    out = module(x)
+    loss = (out * out).sum()
+    loss.backward()
+    numeric = numeric_grad(lambda: _loss_of(module, Tensor(x_data)), x_data)
+    np.testing.assert_allclose(x.grad, numeric, atol=atol, rtol=1e-4)
+
+
+def check_weight_grad(module: Module, x_data: np.ndarray, atol: float = 2e-5):
+    x = Tensor(x_data, requires_grad=True)
+    module.zero_grad()
+    out = module(x)
+    (out * out).sum().backward()
+    for name, p in module.named_parameters():
+        analytic = p.grad.copy()
+        numeric = numeric_grad(lambda: _loss_of(module, Tensor(x_data)), p.data)
+        np.testing.assert_allclose(
+            analytic, numeric, atol=atol, rtol=1e-4,
+            err_msg=f"parameter {name}",
+        )
+
+
+class TestLayerGradients:
+    def test_conv2d(self, rng):
+        conv = Conv2d(2, 3, kernel_size=3, stride=1, padding=1, rng=rng)
+        check_input_grad(conv, rng.normal(size=(2, 2, 5, 5)))
+        check_weight_grad(conv, rng.normal(size=(1, 2, 4, 4)))
+
+    def test_conv2d_strided_no_padding(self, rng):
+        conv = Conv2d(1, 2, kernel_size=3, stride=2, padding=0, rng=rng)
+        check_input_grad(conv, rng.normal(size=(1, 1, 7, 7)))
+
+    def test_linear(self, rng):
+        lin = Linear(6, 4, rng=rng)
+        check_input_grad(lin, rng.normal(size=(3, 6)))
+        check_weight_grad(lin, rng.normal(size=(2, 6)))
+
+    def test_batchnorm_train_mode(self, rng):
+        bn = BatchNorm2d(3)
+        bn.train()
+        check_input_grad(bn, rng.normal(size=(4, 3, 2, 2)), atol=5e-5)
+        check_weight_grad(bn, rng.normal(size=(4, 3, 2, 2)), atol=5e-5)
+
+    def test_relu(self, rng):
+        class R(Module):
+            def forward(self, x):
+                return F.relu(x)
+
+        check_input_grad(R(), rng.normal(size=(3, 4)) + 0.1)
+
+    def test_maxpool(self, rng):
+        check_input_grad(MaxPool2d(2), rng.normal(size=(2, 2, 4, 4)))
+
+    def test_avgpool_and_global(self, rng):
+        class G(Module):
+            def forward(self, x):
+                return F.global_avgpool2d(F.avgpool2d(x, 2))
+
+        check_input_grad(G(), rng.normal(size=(2, 2, 4, 4)))
+
+    def test_concat_channels(self, rng):
+        class C(Module):
+            def forward(self, x):
+                return F.concat_channels([x, x])
+
+        check_input_grad(C(), rng.normal(size=(2, 2, 3, 3)))
+
+    def test_sequential_chain(self, rng):
+        net = Sequential(
+            Conv2d(1, 2, 3, padding=1, rng=rng),
+            BatchNorm2d(2),
+            MaxPool2d(2),
+            Flatten(),
+            Linear(2 * 2 * 2, 3, rng=rng),
+        )
+        check_input_grad(net, rng.normal(size=(2, 1, 4, 4)), atol=5e-5)
+
+
+class TestCrossEntropy:
+    def test_matches_numeric_gradient(self, rng):
+        logits_data = rng.normal(size=(4, 5))
+        labels = np.array([0, 2, 4, 2])
+
+        logits = Tensor(logits_data, requires_grad=True)
+        F.softmax_cross_entropy(logits, labels).backward()
+
+        def loss_fn():
+            t = Tensor(logits_data)
+            return float(F.softmax_cross_entropy(
+                Tensor(logits_data, requires_grad=False), labels
+            ).data)
+
+        numeric = numeric_grad(loss_fn, logits_data)
+        np.testing.assert_allclose(logits.grad, numeric, atol=1e-6)
+
+    def test_loss_decreases_toward_labels(self):
+        good = Tensor(np.array([[10.0, 0.0], [0.0, 10.0]]))
+        bad = Tensor(np.array([[0.0, 10.0], [10.0, 0.0]]))
+        labels = np.array([0, 1])
+        assert float(F.softmax_cross_entropy(good, labels).data) < float(
+            F.softmax_cross_entropy(bad, labels).data
+        )
+
+    def test_accuracy(self):
+        logits = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 0.0]])
+        assert F.accuracy(logits, np.array([0, 1, 1])) == pytest.approx(2 / 3)

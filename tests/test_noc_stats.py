@@ -1,0 +1,72 @@
+"""Link-statistics tests: analytical loads agree with the simulator."""
+
+import pytest
+
+from repro.noc.multicast import build_xy_tree
+from repro.noc.packet import MessageType, Packet
+from repro.noc.simulator import NoCSimulator
+from repro.noc.stats import LinkStats, link_loads_for_packets
+from repro.noc.topology import Mesh
+
+
+def _run(mesh: Mesh, packets: list[Packet]):
+    sim = NoCSimulator(mesh)
+    for p in packets:
+        sim.schedule(p)
+    stats = sim.run()
+    return stats
+
+
+class TestLinkLoads:
+    def test_unicast_loads_match_simulator_flit_hops(self):
+        mesh = Mesh(3, 3)
+        packets = [
+            Packet(0, MessageType.ACTIVATION, 0, (8,), size_flits=3),
+            Packet(1, MessageType.ACTIVATION, 2, (6,), size_flits=2),
+        ]
+        sim_stats = _run(mesh, packets)
+        link_stats = link_loads_for_packets(mesh, packets, sim_stats.cycles)
+        assert link_stats.total_flit_hops == sim_stats.flit_hops
+
+    def test_multicast_loads_each_tree_edge_once_per_flit(self):
+        mesh = Mesh(3, 3)
+        tree = build_xy_tree(mesh, 4)
+        dests = tuple(r for r in range(9) if r != 4)
+        p = Packet(0, MessageType.REMAP_REQUEST, 4, dests, size_flits=2,
+                   tree=tree)
+        sim_stats = _run(mesh, [p])
+        link_stats = link_loads_for_packets(mesh, [p], sim_stats.cycles)
+        # spanning tree: 8 edges, 2 flits each
+        assert link_stats.total_flit_hops == 16
+        assert link_stats.total_flit_hops == sim_stats.flit_hops
+
+    def test_busiest_link_and_utilisation(self):
+        mesh = Mesh(1, 3)
+        packets = [
+            Packet(0, MessageType.ACTIVATION, 0, (2,), size_flits=4),
+            Packet(1, MessageType.ACTIVATION, 1, (2,), size_flits=4),
+        ]
+        sim_stats = _run(mesh, packets)
+        stats = link_loads_for_packets(mesh, packets, sim_stats.cycles)
+        link, flits = stats.busiest_link
+        assert link == (1, 2)  # shared final hop
+        assert flits == 8
+        assert 0 < stats.utilisation(link) <= 1.0
+        assert stats.peak_utilisation() == stats.utilisation(link)
+
+    def test_parallelism_metric(self):
+        mesh = Mesh(2, 2)
+        # Two disjoint single-hop transfers: 2 links busy simultaneously.
+        packets = [
+            Packet(0, MessageType.WEIGHT_TRANSFER, 0, (1,), size_flits=8),
+            Packet(1, MessageType.WEIGHT_TRANSFER, 2, (3,), size_flits=8),
+        ]
+        sim_stats = _run(mesh, packets)
+        stats = link_loads_for_packets(mesh, packets, sim_stats.cycles)
+        assert stats.parallelism() == pytest.approx(2.0)
+
+    def test_empty_stats(self):
+        stats = LinkStats(loads={}, cycles=0)
+        assert stats.total_flit_hops == 0
+        assert stats.parallelism() == 0.0
+        assert stats.busiest_link == ((0, 0), 0)

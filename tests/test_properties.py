@@ -1,0 +1,165 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ecc.an_code import ANCode
+from repro.faults.distribution import clustered_cells, uniform_cells
+from repro.faults.types import FaultMap, FaultType
+from repro.noc.multicast import build_xy_tree
+from repro.noc.topology import Mesh
+from repro.reram.mapping import blocks_needed, pad_to_blocks
+from repro.utils.rng import derive_rng
+
+SETTINGS = settings(max_examples=40, deadline=None)
+
+
+class TestFaultMapProperties:
+    @SETTINGS
+    @given(
+        rows=st.integers(2, 24),
+        cols=st.integers(2, 24),
+        seed=st.integers(0, 1000),
+        fraction=st.floats(0.0, 0.5),
+    )
+    def test_density_counts_consistent(self, rows, cols, seed, fraction):
+        """density * cells == total fault count, and counts partition."""
+        fm = FaultMap(rows, cols)
+        rng = derive_rng(seed, "prop")
+        n = int(fraction * rows * cols)
+        cells = uniform_cells(rng, rows, cols, n)
+        half = len(cells) // 2
+        fm.inject(cells[:half], FaultType.SA0)
+        fm.inject(cells[half:], FaultType.SA1)
+        assert fm.count() == fm.count(FaultType.SA0) + fm.count(FaultType.SA1)
+        assert fm.density == fm.count() / (rows * cols)
+        assert fm.count() == len(cells)
+
+    @SETTINGS
+    @given(
+        rows=st.integers(2, 16),
+        cols=st.integers(2, 16),
+        seed=st.integers(0, 500),
+    )
+    def test_injection_idempotent_and_monotone(self, rows, cols, seed):
+        """Re-injecting the same cells never changes or reduces the map."""
+        rng = derive_rng(seed, "prop2")
+        fm = FaultMap(rows, cols)
+        cells = uniform_cells(rng, rows, cols, (rows * cols) // 3)
+        fm.inject(cells, FaultType.SA0)
+        before = fm.codes.copy()
+        fm.inject(cells, FaultType.SA1)
+        np.testing.assert_array_equal(fm.codes, before)
+
+    @SETTINGS
+    @given(
+        rows=st.integers(4, 32),
+        count=st.integers(0, 60),
+        seed=st.integers(0, 500),
+        frac=st.floats(0.0, 1.0),
+    )
+    def test_clustered_cells_valid_and_unique(self, rows, count, seed, frac):
+        rng = derive_rng(seed, "prop3")
+        cells = clustered_cells(rng, rows, rows, count, cluster_fraction=frac)
+        assert len(cells) == min(count, rows * rows)
+        assert len(np.unique(cells)) == len(cells)
+        if len(cells):
+            assert cells.min() >= 0 and cells.max() < rows * rows
+
+
+class TestANCodeProperties:
+    @SETTINGS
+    @given(
+        a=st.sampled_from([7, 31, 127, 251, 509]),
+        values=st.lists(st.integers(-10_000, 10_000), min_size=1, max_size=64),
+        seed=st.integers(0, 1000),
+    )
+    def test_decode_inverts_encode_under_correctable_error(self, a, values, seed):
+        code = ANCode(a=a)
+        x = np.array(values, dtype=np.int64)
+        rng = derive_rng(seed, "an")
+        e = rng.integers(-code.t, code.t + 1, size=x.shape)
+        decoded = code.decode(code.encode(x) + e)
+        np.testing.assert_array_equal(decoded, x)
+
+    @SETTINGS
+    @given(
+        a=st.sampled_from([11, 101, 251]),
+        values=st.lists(st.integers(-1000, 1000), min_size=1, max_size=32),
+    )
+    def test_syndrome_zero_iff_codeword(self, a, values):
+        code = ANCode(a=a)
+        x = np.array(values, dtype=np.int64)
+        assert (code.syndrome(code.encode(x)) == 0).all()
+
+
+class TestRoutingProperties:
+    @SETTINGS
+    @given(
+        rows=st.integers(2, 6),
+        cols=st.integers(2, 6),
+        data=st.data(),
+    )
+    def test_xy_route_valid_and_minimal(self, rows, cols, data):
+        mesh = Mesh(rows, cols)
+        src = data.draw(st.integers(0, mesh.num_routers - 1))
+        dst = data.draw(st.integers(0, mesh.num_routers - 1))
+        route = mesh.xy_route(src, dst)
+        assert route[0] == src and route[-1] == dst
+        assert len(route) - 1 == mesh.hop_distance(src, dst)
+        for a, b in zip(route, route[1:]):
+            assert b in mesh.neighbors(a).values()
+
+    @SETTINGS
+    @given(rows=st.integers(2, 5), cols=st.integers(2, 5), data=st.data())
+    def test_xy_tree_is_spanning_tree(self, rows, cols, data):
+        mesh = Mesh(rows, cols)
+        src = data.draw(st.integers(0, mesh.num_routers - 1))
+        tree = build_xy_tree(mesh, src)
+        # spanning: every router present; tree: |edges| == |nodes| - 1
+        assert set(tree) == set(range(mesh.num_routers))
+        edges = sum(len(kids) for kids in tree.values())
+        assert edges == mesh.num_routers - 1
+        # every edge is a physical link
+        for parent, kids in tree.items():
+            for kid in kids:
+                assert kid in mesh.neighbors(parent).values()
+
+
+class TestBlockMathProperties:
+    @SETTINGS
+    @given(
+        mr=st.integers(1, 300),
+        mc=st.integers(1, 300),
+        br=st.integers(1, 64),
+        bc=st.integers(1, 64),
+    )
+    def test_blocks_cover_matrix(self, mr, mc, br, bc):
+        nbr, nbc = blocks_needed(mr, mc, br, bc)
+        assert nbr * br >= mr and (nbr - 1) * br < mr
+        assert nbc * bc >= mc and (nbc - 1) * bc < mc
+
+    @SETTINGS
+    @given(
+        mr=st.integers(1, 50),
+        mc=st.integers(1, 50),
+        br=st.integers(1, 16),
+        bc=st.integers(1, 16),
+        seed=st.integers(0, 100),
+    )
+    def test_pad_preserves_content(self, mr, mc, br, bc, seed):
+        rng = derive_rng(seed, "pad")
+        m = rng.normal(size=(mr, mc))
+        p = pad_to_blocks(m, br, bc)
+        np.testing.assert_array_equal(p[:mr, :mc], m)
+        assert p.sum() == pytest.approx(m.sum())
+
+
+class TestRngProperties:
+    @SETTINGS
+    @given(seed=st.integers(0, 10_000), name=st.text(min_size=1, max_size=20))
+    def test_streams_reproducible(self, seed, name):
+        a = derive_rng(seed, name).integers(0, 2**31, 4)
+        b = derive_rng(seed, name).integers(0, 2**31, 4)
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,119 @@
+"""Crossbar and differential-pair tests."""
+
+import numpy as np
+import pytest
+
+from repro.faults.types import FaultType
+from repro.reram.cell import (
+    conductance_fraction,
+    fraction_to_conductance,
+    sample_sa0_resistances,
+    sample_sa1_resistances,
+)
+from repro.reram.crossbar import Crossbar, CrossbarPair
+
+
+class TestCellModels:
+    def test_stuck_resistance_ranges(self, rng, xbar_config):
+        r1 = sample_sa1_resistances(rng, 500, xbar_config)
+        r0 = sample_sa0_resistances(rng, 500, xbar_config)
+        assert r1.min() >= xbar_config.r_sa1_min
+        assert r1.max() <= xbar_config.r_sa1_max
+        assert r0.min() >= xbar_config.r_sa0_min
+        assert r0.max() <= xbar_config.r_sa0_max
+
+    def test_fraction_roundtrip(self, rng, xbar_config):
+        frac = rng.random(50)
+        g = fraction_to_conductance(frac, xbar_config)
+        np.testing.assert_allclose(conductance_fraction(g, xbar_config), frac)
+
+    def test_negative_sample_count_rejected(self, rng, xbar_config):
+        with pytest.raises(ValueError):
+            sample_sa1_resistances(rng, -1, xbar_config)
+
+
+class TestCrossbar:
+    def test_program_and_readback(self, rng, xbar_config):
+        xb = Crossbar(0, xbar_config)
+        target = rng.random((16, 16))
+        xb.program(target)
+        np.testing.assert_allclose(xb.effective_fractions(), target)
+        assert xb.write_count == 1
+
+    def test_stuck_cells_ignore_writes(self, rng, xbar_config):
+        xb = Crossbar(0, xbar_config)
+        xb.fault_map.inject(np.array([0]), FaultType.SA1)
+        xb.fault_map.inject(np.array([1]), FaultType.SA0)
+        xb.program(np.full((16, 16), 0.5))
+        eff = xb.effective_fractions()
+        assert eff.ravel()[0] == 1.0  # SA1 reads fully on
+        assert eff.ravel()[1] == 0.0  # SA0 reads fully off
+        assert eff.ravel()[2] == 0.5
+
+    def test_program_shape_checked(self, xbar_config):
+        xb = Crossbar(0, xbar_config)
+        with pytest.raises(ValueError):
+            xb.program(np.zeros((4, 4)))
+
+    def test_program_range_checked(self, xbar_config):
+        xb = Crossbar(0, xbar_config)
+        with pytest.raises(ValueError):
+            xb.program(np.full((16, 16), 1.5))
+
+    def test_mvm_is_current_sum(self, rng, xbar_config):
+        xb = Crossbar(0, xbar_config)
+        fracs = rng.random((16, 16))
+        xb.program(fracs)
+        v = np.full(16, xbar_config.read_voltage)
+        currents = xb.mvm(v)
+        expected = v @ (
+            xbar_config.g_off + fracs * (xbar_config.g_on - xbar_config.g_off)
+        )
+        np.testing.assert_allclose(currents, expected)
+
+    def test_mvm_shape_checked(self, xbar_config):
+        xb = Crossbar(0, xbar_config)
+        with pytest.raises(ValueError):
+            xb.mvm(np.zeros(3))
+
+
+class TestCrossbarPair:
+    def _pair(self, xbar_config) -> CrossbarPair:
+        return CrossbarPair(
+            0, Crossbar(0, xbar_config), Crossbar(1, xbar_config), tile_id=0
+        )
+
+    def test_signed_weight_roundtrip(self, rng, xbar_config):
+        pair = self._pair(xbar_config)
+        w = rng.normal(0, 0.2, (16, 16))
+        pair.program_weights(w)
+        np.testing.assert_allclose(pair.effective_weights(), w, atol=1e-12)
+
+    def test_sa1_on_positive_pins_weight_high(self, rng, xbar_config):
+        pair = self._pair(xbar_config)
+        pair.pos.fault_map.inject(np.array([0]), FaultType.SA1)
+        w = rng.normal(0, 0.2, (16, 16))
+        w[0, 0] = -0.1
+        pair.program_weights(w)
+        eff = pair.effective_weights()
+        # G+ stuck on adds +scale; G- still encodes the -0.1 part.
+        assert eff[0, 0] == pytest.approx(pair.scale - 0.1)
+
+    def test_sa0_erases_contribution(self, rng, xbar_config):
+        pair = self._pair(xbar_config)
+        pair.pos.fault_map.inject(np.array([0]), FaultType.SA0)
+        w = np.zeros((16, 16))
+        w[0, 0] = 0.3
+        w[1, 1] = -0.4  # sets the scale
+        pair.program_weights(w)
+        assert pair.effective_weights()[0, 0] == pytest.approx(0.0)
+
+    def test_density_mean_of_arrays(self, xbar_config):
+        pair = self._pair(xbar_config)
+        pair.pos.fault_map.inject(np.arange(4), FaultType.SA0)
+        assert pair.density == pytest.approx(0.5 * 4 / 256)
+
+    def test_weight_shape_checked(self, xbar_config):
+        pair = self._pair(xbar_config)
+        with pytest.raises(ValueError):
+            pair.program_weights(np.zeros((4, 4)))

@@ -1,0 +1,120 @@
+"""LayerCopyMapping tests: block math, fault overlays, calibration scales."""
+
+import numpy as np
+import pytest
+
+from repro.faults.types import FaultType
+from repro.reram.chip import Chip
+from repro.reram.mapping import LayerCopyMapping, blocks_needed, pad_to_blocks
+
+
+class TestBlockMath:
+    def test_blocks_needed_exact(self):
+        assert blocks_needed(128, 128, 128, 128) == (1, 1)
+
+    def test_blocks_needed_rounds_up(self):
+        assert blocks_needed(129, 250, 128, 128) == (2, 2)
+
+    def test_blocks_needed_rejects_empty(self):
+        with pytest.raises(ValueError):
+            blocks_needed(0, 4, 2, 2)
+
+    def test_pad_to_blocks(self):
+        m = np.ones((5, 3))
+        p = pad_to_blocks(m, 4, 4)
+        assert p.shape == (8, 4)
+        assert p[:5, :3].sum() == 15
+        assert p[5:, :].sum() == 0 and p[:, 3:].sum() == 0
+
+
+@pytest.fixture
+def chip(chip_config) -> Chip:
+    return Chip(chip_config)
+
+
+class TestEffectiveMatrix:
+    def test_fault_free_passthrough(self, chip, rng):
+        mapping = chip.allocate_layer_copy("l", "forward", (20, 20))
+        w = rng.normal(0, 0.1, (20, 20))
+        out = mapping.effective_matrix(w, chip.pair, chip.fault_version)
+        np.testing.assert_array_equal(out, w)
+
+    def test_sa_faults_pin_positions(self, chip, rng):
+        mapping = chip.allocate_layer_copy("l", "backward", (16, 16))
+        pair = chip.pair(int(mapping.pair_ids[0, 0]))
+        pair.pos.fault_map.inject(np.array([0]), FaultType.SA1)
+        chip.bump_fault_version()
+        w = rng.normal(0, 0.1, (16, 16))
+        w[0, 0] = 0.0
+        eff = mapping.effective_matrix(w, chip.pair, chip.fault_version)
+        scale = mapping.scales[0, 0]
+        assert eff[0, 0] == pytest.approx(scale)
+        # all other entries unchanged
+        mask = np.ones_like(w, bool)
+        mask[0, 0] = False
+        np.testing.assert_allclose(eff[mask], w[mask])
+
+    def test_scales_frozen_until_remap(self, chip, rng):
+        mapping = chip.allocate_layer_copy("l", "backward", (16, 16))
+        pair = chip.pair(int(mapping.pair_ids[0, 0]))
+        pair.pos.fault_map.inject(np.array([5]), FaultType.SA0)
+        chip.bump_fault_version()
+        w = rng.normal(0, 0.1, (16, 16))
+        mapping.effective_matrix(w, chip.pair, chip.fault_version)
+        s0 = mapping.scales[0, 0]
+        mapping.effective_matrix(w * 10, chip.pair, chip.fault_version)
+        assert mapping.scales[0, 0] == s0  # frozen
+        mapping.set_pair(0, 0, int(mapping.pair_ids[0, 0]))
+        chip.bump_fault_version()
+        mapping.effective_matrix(w * 10, chip.pair, chip.fault_version)
+        assert mapping.scales[0, 0] != s0  # recalibrated after remap
+
+    def test_weights_saturate_at_range(self, chip, rng):
+        mapping = chip.allocate_layer_copy("l", "forward", (16, 16))
+        pair = chip.pair(int(mapping.pair_ids[0, 0]))
+        pair.pos.fault_map.inject(np.array([40]), FaultType.SA0)
+        chip.bump_fault_version()
+        w = rng.normal(0, 0.1, (16, 16))
+        mapping.effective_matrix(w, chip.pair, chip.fault_version)
+        scale = mapping.scales[0, 0]
+        w2 = w.copy()
+        w2[3, 3] = 100.0  # way beyond the programmed range
+        eff = mapping.effective_matrix(w2, chip.pair, chip.fault_version)
+        assert eff[3, 3] == pytest.approx(scale)
+
+    def test_gradient_path_uses_separate_scales(self, chip, rng):
+        mapping = chip.allocate_layer_copy("l", "backward", (16, 16))
+        pair = chip.pair(int(mapping.pair_ids[0, 0]))
+        pair.pos.fault_map.inject(np.array([0]), FaultType.SA1)
+        chip.bump_fault_version()
+        g = rng.normal(0, 1e-3, (16, 16))
+        eff = mapping.effective_matrix(
+            g, chip.pair, chip.fault_version, which="grad"
+        )
+        # SA1 on the positive device pins frac_pos = 1; the negative
+        # device still encodes the value's negative part.
+        expected = mapping.grad_scales[0, 0] - max(-g[0, 0], 0.0)
+        assert eff[0, 0] == pytest.approx(expected)
+        assert np.isnan(mapping.scales[0, 0])  # weight path untouched
+
+    def test_shape_mismatch_rejected(self, chip):
+        mapping = chip.allocate_layer_copy("l", "forward", (16, 16))
+        with pytest.raises(ValueError):
+            mapping.effective_matrix(
+                np.zeros((4, 4)), chip.pair, chip.fault_version
+            )
+
+    def test_mask_cache_invalidated_by_new_faults(self, chip, rng):
+        mapping = chip.allocate_layer_copy("l", "forward", (16, 16))
+        w = rng.normal(0, 0.1, (16, 16))
+        out1 = mapping.effective_matrix(w, chip.pair, chip.fault_version)
+        np.testing.assert_array_equal(out1, w)
+        pair = chip.pair(int(mapping.pair_ids[0, 0]))
+        pair.neg.fault_map.inject(np.array([0]), FaultType.SA1)
+        chip.bump_fault_version()
+        out2 = mapping.effective_matrix(w, chip.pair, chip.fault_version)
+        assert out2[0, 0] != w[0, 0]
+
+    def test_invalid_phase_rejected(self):
+        with pytest.raises(ValueError):
+            LayerCopyMapping("x", "sideways", (4, 4), np.zeros((1, 1)), 4, 4)

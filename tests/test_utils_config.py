@@ -1,0 +1,96 @@
+"""Validation tests for the configuration dataclasses."""
+
+import pytest
+
+from repro.utils.config import (
+    ChipConfig,
+    CrossbarConfig,
+    ExperimentConfig,
+    FaultConfig,
+    TrainConfig,
+)
+
+
+class TestCrossbarConfig:
+    def test_defaults_match_paper(self):
+        cfg = CrossbarConfig()
+        assert cfg.rows == 128 and cfg.cols == 128
+        assert cfg.reram_cycle_ns == 100.0  # 10 MHz arrays
+        assert cfg.cells == 128 * 128
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            CrossbarConfig(rows=0)
+
+    def test_rejects_inverted_conductances(self):
+        with pytest.raises(ValueError):
+            CrossbarConfig(g_on=1e-6, g_off=1e-4)
+
+    def test_rejects_overlapping_stuck_ranges(self):
+        with pytest.raises(ValueError):
+            CrossbarConfig(r_sa1_max=1e6, r_sa0_min=1e5)
+
+
+class TestChipConfig:
+    def test_counts(self):
+        cfg = ChipConfig(
+            mesh_rows=2, mesh_cols=3, tiles_per_router=2,
+            imas_per_tile=2, crossbars_per_ima=4,
+        )
+        assert cfg.num_routers == 6
+        assert cfg.num_tiles == 12
+        assert cfg.num_crossbars == 12 * 2 * 4
+        assert cfg.num_pairs == cfg.num_crossbars // 2
+
+    def test_requires_even_crossbars_per_ima(self):
+        with pytest.raises(ValueError):
+            ChipConfig(crossbars_per_ima=3)
+
+    def test_spare_fraction_bounded(self):
+        with pytest.raises(ValueError):
+            ChipConfig(spare_fraction=0.9)
+
+
+class TestFaultConfig:
+    def test_sa0_probability_from_ratio(self):
+        cfg = FaultConfig(sa0_sa1_ratio=9.0)
+        assert cfg.sa0_probability() == pytest.approx(0.9)
+
+    def test_post_ratio_independent(self):
+        cfg = FaultConfig(sa0_sa1_ratio=9.0, post_sa0_sa1_ratio=1.0)
+        assert cfg.sa0_probability(post=True) == pytest.approx(0.5)
+
+    def test_rejects_bad_density_ranges(self):
+        with pytest.raises(ValueError):
+            FaultConfig(pre_high_density=(0.01, 0.004))
+
+    def test_rejects_bad_phase_target(self):
+        with pytest.raises(ValueError):
+            FaultConfig(phase_target="sideways")
+
+    def test_phase_targets_allowed(self):
+        assert FaultConfig(phase_target="forward").phase_target == "forward"
+        assert FaultConfig(phase_target=None).phase_target is None
+
+
+class TestTrainConfig:
+    def test_rejects_zero_epochs(self):
+        with pytest.raises(ValueError):
+            TrainConfig(epochs=0)
+
+    def test_rejects_huge_width(self):
+        with pytest.raises(ValueError):
+            TrainConfig(width_mult=8.0)
+
+
+class TestExperimentConfig:
+    def test_round_trips_to_dict(self):
+        cfg = ExperimentConfig()
+        d = cfg.to_dict()
+        assert d["policy"] == "remap-d"
+        assert d["train"]["model"] == "vgg11"
+        assert d["chip"]["crossbar"]["rows"] == 128
+
+    def test_rejects_negative_policy_param(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(policy_param=-1.0)

@@ -1,0 +1,63 @@
+"""Tests for logging and table rendering helpers."""
+
+import json
+
+import pytest
+
+from repro.utils.logging import RunLogger
+from repro.utils.tabulate import render_series, render_table
+
+
+class TestRunLogger:
+    def test_records_events_in_order(self):
+        log = RunLogger(echo=False)
+        log.event("epoch", epoch=0, acc=0.5)
+        log.event("remap", count=3)
+        assert [e["kind"] for e in log.events] == ["epoch", "remap"]
+
+    def test_filter_by_kind(self):
+        log = RunLogger(echo=False)
+        log.event("a", x=1)
+        log.event("b", x=2)
+        log.event("a", x=3)
+        assert [e["x"] for e in log.filter("a")] == [1, 3]
+
+    def test_dump_jsonl(self, tmp_path):
+        log = RunLogger(echo=False)
+        log.event("epoch", epoch=1)
+        path = tmp_path / "run.jsonl"
+        log.dump_jsonl(str(path))
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["kind"] == "epoch"
+
+
+class TestRenderTable:
+    def test_alignment_and_headers(self):
+        out = render_table(["model", "acc"], [["vgg11", 0.913]], ndigits=3)
+        lines = out.splitlines()
+        assert "model" in lines[0] and "acc" in lines[0]
+        assert "0.913" in lines[2]
+
+    def test_title(self):
+        out = render_table(["a"], [[1]], title="Fig. 6")
+        assert out.splitlines()[0] == "Fig. 6"
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        out = render_table(["a", "b"], [])
+        assert "a" in out
+
+
+class TestRenderSeries:
+    def test_pairs_rendered(self):
+        out = render_series("acc", [1, 2], [0.5, 0.75], "epoch", "acc")
+        assert "1 -> 0.50" in out
+        assert "2 -> 0.75" in out
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            render_series("s", [1], [1, 2])

@@ -1,0 +1,59 @@
+"""Tests for the seeded RNG hub."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import RngHub, derive_rng
+
+
+class TestDeriveRng:
+    def test_deterministic_for_same_inputs(self):
+        a = derive_rng(42, "faults").standard_normal(8)
+        b = derive_rng(42, "faults").standard_normal(8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_names_give_different_streams(self):
+        a = derive_rng(42, "faults").standard_normal(8)
+        b = derive_rng(42, "data").standard_normal(8)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_give_different_streams(self):
+        a = derive_rng(1, "faults").standard_normal(8)
+        b = derive_rng(2, "faults").standard_normal(8)
+        assert not np.array_equal(a, b)
+
+    def test_rejects_non_integer_seed(self):
+        with pytest.raises(TypeError):
+            derive_rng("nope", "x")  # type: ignore[arg-type]
+
+
+class TestRngHub:
+    def test_stream_is_cached(self):
+        hub = RngHub(0)
+        assert hub.stream("a") is hub.stream("a")
+
+    def test_stream_reproducible_across_hubs(self):
+        x = RngHub(9).stream("s").integers(0, 1000, 5)
+        y = RngHub(9).stream("s").integers(0, 1000, 5)
+        np.testing.assert_array_equal(x, y)
+
+    def test_fresh_is_not_cached(self):
+        hub = RngHub(0)
+        g1 = hub.fresh("a")
+        g2 = hub.fresh("a")
+        assert g1 is not g2
+        np.testing.assert_array_equal(
+            g1.standard_normal(4), g2.standard_normal(4)
+        )
+
+    def test_spawn_produces_independent_child(self):
+        hub = RngHub(5)
+        child = hub.spawn("worker")
+        a = hub.stream("s").standard_normal(4)
+        b = child.stream("s").standard_normal(4)
+        assert not np.array_equal(a, b)
+
+    def test_spawn_deterministic(self):
+        a = RngHub(5).spawn("w").stream("s").standard_normal(4)
+        b = RngHub(5).spawn("w").stream("s").standard_normal(4)
+        np.testing.assert_array_equal(a, b)
