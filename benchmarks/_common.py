@@ -11,6 +11,13 @@ Absolute accuracies are not comparable to the paper (our substrate is a
 width-scaled NumPy simulator on synthetic data, 8 epochs instead of 50);
 the reproduced quantity is the *shape*: who wins, roughly by how much,
 and in which direction each knob moves the result.  See EXPERIMENTS.md.
+
+Runtime knobs (see "Runtime & parallelism" in EXPERIMENTS.md):
+
+* ``REPRO_BENCH_WORKERS`` — experiment cells per figure fan out over this
+  many worker processes (``auto`` = CPU count; default serial).  Cells
+  are seed-deterministic, so the numbers are identical at any width.
+* ``REPRO_BENCH_DTYPE`` — ``float32`` (default, fast) or ``float64``.
 """
 
 from __future__ import annotations
@@ -18,8 +25,9 @@ from __future__ import annotations
 import json
 import os
 import pathlib
-from typing import Any
+from typing import Any, Iterable
 
+from repro.runner import CellResult, ExperimentCell, results_by_key, run_experiments
 from repro.utils.config import (
     ChipConfig,
     CrossbarConfig,
@@ -29,6 +37,7 @@ from repro.utils.config import (
 )
 
 SCALE = os.environ.get("REPRO_BENCH_SCALE", "default")
+DTYPE = os.environ.get("REPRO_BENCH_DTYPE", "float32")
 
 #: the six CNNs of the paper (Fig. 5/6/8).
 ALL_MODELS = ["vgg11", "vgg16", "vgg19", "resnet12", "resnet18", "squeezenet"]
@@ -52,11 +61,11 @@ def train_config(model: str, dataset: str = "synth-cifar10") -> TrainConfig:
     if SCALE == "quick":
         return TrainConfig(
             model=model, dataset=dataset, epochs=4, batch_size=32,
-            n_train=256, n_test=128, width_mult=0.125,
+            n_train=256, n_test=128, width_mult=0.125, dtype=DTYPE,
         )
     return TrainConfig(
         model=model, dataset=dataset, epochs=8, batch_size=32,
-        n_train=512, n_test=192, width_mult=0.125,
+        n_train=512, n_test=192, width_mult=0.125, dtype=DTYPE,
     )
 
 
@@ -92,6 +101,38 @@ def experiment(
         remap_threshold=0.001,
         seed=seed,
     )
+
+
+def run_cells(
+    cells: Iterable[ExperimentCell], workers: int | None = None
+) -> dict[Any, CellResult]:
+    """Fan the cells across the runner and index the results by key.
+
+    Prints one progress line per finished cell and the full traceback of
+    every failed cell; failed cells surface as NaN accuracies downstream
+    (via :attr:`CellResult.final_accuracy`) rather than aborting the
+    whole figure.
+    """
+    cell_list = list(cells)
+    total = len(cell_list)
+    done = 0
+
+    def _progress(res: CellResult) -> None:
+        nonlocal done
+        done += 1
+        status = "ok" if res.ok else "FAILED"
+        print(
+            f"  [{done:>{len(str(total))}}/{total}] {res.key}: {status} "
+            f"({res.wall_seconds:.1f}s, pid {res.worker_pid})"
+        )
+
+    results = run_experiments(cell_list, workers=workers, on_result=_progress)
+    failures = [r for r in results if not r.ok]
+    for res in failures:
+        print(f"\ncell {res.key!r} failed:\n{res.error}")
+    if failures:
+        print(f"WARNING: {len(failures)}/{total} cells failed (NaN in tables)")
+    return results_by_key(results)
 
 
 def save_results(name: str, payload: dict[str, Any]) -> pathlib.Path:

@@ -5,51 +5,39 @@ implicitly — the trigger threshold, the receiver-selection rule and the
 backward-phase priority — on one representative CNN.
 """
 
-from repro.core.controller import run_experiment
-from repro.core.policies import RemapDPolicy
+from repro.runner import ExperimentCell
 from repro.utils.tabulate import render_table
 
-import repro.core.policies as policies_module
-
-from _common import experiment, fig6_fault_config, save_results
+from _common import experiment, fig6_fault_config, run_cells, save_results
 
 MODEL = "resnet12"
 
+#: (label, policy constructor kwargs, trigger threshold).
+VARIANTS: list[tuple[str, dict, float]] = [
+    ("baseline (nearest, phase-priority)", {}, 0.001),
+    ("receiver = lowest-density", {"receiver_rule": "lowest-density"}, 0.001),
+    ("receiver = random", {"receiver_rule": "random"}, 0.001),
+    ("no phase priority", {"phase_priority": False}, 0.001),
+    ("threshold x10 (0.01)", {}, 0.01),
+]
 
-def _run(policy_kwargs: dict, threshold: float = 0.001) -> float:
-    import repro.core.controller as controller_module
 
+def _cell(label: str, kwargs: dict, threshold: float) -> ExperimentCell:
     cfg = experiment(MODEL, "remap-d", fig6_fault_config())
     cfg.remap_threshold = threshold
-    # The controller builds policies through make_policy; substitute a
-    # factory that configures the protocol variant under test.
-    original = controller_module.make_policy
-
-    def patched(name, param=None, thr=0.002):
-        if name == "remap-d":
-            return RemapDPolicy(threshold=threshold, **policy_kwargs)
-        return original(name, param, thr)
-
-    controller_module.make_policy = patched
-    try:
-        result = run_experiment(cfg)
-    finally:
-        controller_module.make_policy = original
-    return result.final_accuracy
+    # The protocol variant under test rides in the config (picklable for
+    # pool workers) and reaches RemapDPolicy through make_policy.
+    cfg.policy_kwargs = dict(kwargs)
+    return ExperimentCell(label, cfg)
 
 
 def run_ablation() -> dict:
+    by_key = run_cells(_cell(label, kwargs, thr)
+                       for label, kwargs, thr in VARIANTS)
     rows = []
     results = {}
-
-    for label, kwargs, thr in [
-        ("baseline (nearest, phase-priority)", {}, 0.001),
-        ("receiver = lowest-density", {"receiver_rule": "lowest-density"}, 0.001),
-        ("receiver = random", {"receiver_rule": "random"}, 0.001),
-        ("no phase priority", {"phase_priority": False}, 0.001),
-        ("threshold x10 (0.01)", {}, 0.01),
-    ]:
-        acc = _run(kwargs, thr)
+    for label, _, _ in VARIANTS:
+        acc = by_key[label].final_accuracy
         results[label] = acc
         rows.append([label, acc])
 

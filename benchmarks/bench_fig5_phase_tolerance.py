@@ -8,34 +8,39 @@ have a small impact.  This observation is what justifies Remap-D's
 phase-priority rule.
 """
 
-from repro.core.controller import run_experiment
+from repro.runner import ExperimentCell
 from repro.utils.config import FaultConfig
 from repro.utils.tabulate import render_table
 
-from _common import MODELS, experiment, save_results
+from _common import MODELS, experiment, run_cells, save_results
 
 DENSITY = 0.02
+VARIANTS = ("ideal", "forward", "backward")
+
+
+def _cell(model: str, variant: str) -> ExperimentCell:
+    if variant == "ideal":
+        faults = FaultConfig(pre_enabled=False, post_enabled=False)
+        policy = "ideal"
+    else:
+        faults = FaultConfig(
+            pre_enabled=False,
+            post_enabled=False,
+            phase_target=variant,
+            phase_density=DENSITY,
+        )
+        policy = "none"
+    return ExperimentCell((model, variant), experiment(model, policy, faults))
 
 
 def run_fig5() -> dict:
+    by_key = run_cells(
+        _cell(model, variant) for model in MODELS for variant in VARIANTS
+    )
     rows = []
     results: dict[str, dict[str, float]] = {}
     for model in MODELS:
-        accs: dict[str, float] = {}
-        for variant in ("ideal", "forward", "backward"):
-            if variant == "ideal":
-                faults = FaultConfig(pre_enabled=False, post_enabled=False)
-                policy = "ideal"
-            else:
-                faults = FaultConfig(
-                    pre_enabled=False,
-                    post_enabled=False,
-                    phase_target=variant,
-                    phase_density=DENSITY,
-                )
-                policy = "none"
-            res = run_experiment(experiment(model, policy, faults))
-            accs[variant] = res.final_accuracy
+        accs = {v: by_key[(model, v)].final_accuracy for v in VARIANTS}
         results[model] = accs
         rows.append([
             model, accs["ideal"], accs["forward"], accs["backward"],

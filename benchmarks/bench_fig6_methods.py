@@ -8,10 +8,17 @@ ideal; AN code, static mapping and Remap-WS leave large losses; Remap-D
 needs no spare hardware.
 """
 
-from repro.core.controller import run_experiment
+from repro.runner import ExperimentCell
 from repro.utils.tabulate import render_table
 
-from _common import MODELS, SCALE, experiment, fig6_fault_config, save_results
+from _common import (
+    MODELS,
+    SCALE,
+    experiment,
+    fig6_fault_config,
+    run_cells,
+    save_results,
+)
 
 POLICIES: list[tuple[str, str, float]] = [
     ("ideal", "ideal", 0.0),
@@ -27,17 +34,24 @@ POLICIES: list[tuple[str, str, float]] = [
 
 def run_fig6() -> dict:
     faults = fig6_fault_config()
+    by_key = run_cells(
+        ExperimentCell(
+            (model, label),
+            experiment(model, policy, faults, policy_param=param),
+            tags={"policy": policy},
+        )
+        for model in MODELS
+        for label, policy, param in POLICIES
+    )
     results: dict[str, dict[str, float]] = {}
     remap_counts: dict[str, int] = {}
     for model in MODELS:
         results[model] = {}
-        for label, policy, param in POLICIES:
-            res = run_experiment(
-                experiment(model, policy, faults, policy_param=param)
-            )
+        for label, policy, _ in POLICIES:
+            res = by_key[(model, label)]
             results[model][label] = res.final_accuracy
-            if policy == "remap-d":
-                remap_counts[model] = res.num_remaps
+            if policy == "remap-d" and res.ok:
+                remap_counts[model] = res.result.num_remaps
     labels = [label for label, _, _ in POLICIES]
     rows = [[model] + [results[model][l] for l in labels] for model in MODELS]
     means = ["MEAN"] + [

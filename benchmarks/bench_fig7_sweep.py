@@ -7,11 +7,11 @@ degrades only mildly as (m, n) grow; even the worst corner (m=1%, n=2%)
 loses only a few percent after full training.
 """
 
-from repro.core.controller import run_experiment
+from repro.runner import ExperimentCell
 from repro.utils.config import FaultConfig
 from repro.utils.tabulate import render_table
 
-from _common import SCALE, experiment, save_results
+from _common import SCALE, experiment, run_cells, save_results
 
 import os
 
@@ -23,23 +23,37 @@ M_VALUES = [0.001, 0.005, 0.01]
 N_VALUES = [0.001, 0.01, 0.02]
 
 
+def _cells() -> list[ExperimentCell]:
+    cells = []
+    for model in SWEEP_MODELS:
+        cells.append(ExperimentCell(
+            (model, "ideal"),
+            experiment(model, "ideal",
+                       FaultConfig(pre_enabled=False, post_enabled=False)),
+        ))
+        for m in M_VALUES:
+            for n in N_VALUES:
+                cells.append(ExperimentCell(
+                    (model, m, n),
+                    experiment(model, "remap-d",
+                               FaultConfig(post_m=m, post_n=n)),
+                ))
+    return cells
+
+
 def run_fig7() -> dict:
+    by_key = run_cells(_cells())
     results: dict[str, dict] = {}
     for model in SWEEP_MODELS:
-        ideal = run_experiment(
-            experiment(model, "ideal", FaultConfig(pre_enabled=False,
-                                                   post_enabled=False))
-        ).final_accuracy
+        ideal = by_key[(model, "ideal")].final_accuracy
         grid: dict[str, float] = {}
         rows = []
         for m in M_VALUES:
             row = [f"m={100 * m:.1f}%"]
             for n in N_VALUES:
-                res = run_experiment(
-                    experiment(model, "remap-d", FaultConfig(post_m=m, post_n=n))
-                )
-                grid[f"m={m},n={n}"] = res.final_accuracy
-                row.append(res.final_accuracy)
+                acc = by_key[(model, m, n)].final_accuracy
+                grid[f"m={m},n={n}"] = acc
+                row.append(acc)
             rows.append(row)
         results[model] = {"ideal": ideal, "grid": grid}
         print()

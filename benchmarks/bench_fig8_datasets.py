@@ -6,33 +6,50 @@ CNNs on CIFAR-100 and SVHN and shows Remap-D keeps the loss small
 loses tens of percent on CIFAR-100.
 """
 
-from repro.core.controller import run_experiment
+from repro.runner import ExperimentCell
 from repro.utils.config import FaultConfig
 from repro.utils.tabulate import render_table
 
-from _common import MODELS, experiment, fig6_fault_config, save_results
+from _common import (
+    MODELS,
+    experiment,
+    fig6_fault_config,
+    run_cells,
+    save_results,
+)
 
 DATASETS = ["synth-svhn", "synth-cifar100"]
 POLICIES = [("ideal", "ideal"), ("none", "none"), ("remap-d", "remap-d")]
 
 
+def _cell(dataset: str, model: str, label: str, policy: str) -> ExperimentCell:
+    faults = (
+        FaultConfig(pre_enabled=False, post_enabled=False)
+        if policy == "ideal"
+        else fig6_fault_config()
+    )
+    return ExperimentCell(
+        (dataset, model, label),
+        experiment(model, policy, faults, dataset=dataset),
+    )
+
+
 def run_fig8() -> dict:
+    by_key = run_cells(
+        _cell(dataset, model, label, policy)
+        for dataset in DATASETS
+        for model in MODELS
+        for label, policy in POLICIES
+    )
     results: dict[str, dict[str, dict[str, float]]] = {}
     for dataset in DATASETS:
         results[dataset] = {}
         rows = []
         for model in MODELS:
-            accs = {}
-            for label, policy in POLICIES:
-                faults = (
-                    FaultConfig(pre_enabled=False, post_enabled=False)
-                    if policy == "ideal"
-                    else fig6_fault_config()
-                )
-                res = run_experiment(
-                    experiment(model, policy, faults, dataset=dataset)
-                )
-                accs[label] = res.final_accuracy
+            accs = {
+                label: by_key[(dataset, model, label)].final_accuracy
+                for label, _ in POLICIES
+            }
             results[dataset][model] = accs
             rows.append([
                 model, accs["ideal"], accs["none"], accs["remap-d"],

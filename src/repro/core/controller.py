@@ -30,6 +30,7 @@ from repro.nn.data import SyntheticDataset, make_dataset
 from repro.nn.fault_aware import CrossbarEngine
 from repro.nn.layers import Conv2d, Linear, Module
 from repro.nn.models import build_model
+from repro.nn.tensor import set_default_dtype
 from repro.nn.trainer import Trainer, TrainResult
 from repro.reram.chip import Chip
 from repro.reram.mapping import blocks_needed
@@ -163,6 +164,11 @@ def build_experiment(
     """Construct the full experiment stack (no training yet)."""
     hub = RngHub(config.seed)
     tc = config.train
+    # The compute dtype travels with the config so runner workers (which
+    # may be freshly spawned processes) configure themselves identically
+    # to a serial run.  Must happen before the model is built: parameters
+    # adopt the default dtype at construction.
+    set_default_dtype(tc.dtype)
     dataset = make_dataset(
         tc.dataset, tc.n_train, tc.n_test, tc.image_size, hub.stream("data")
     )
@@ -172,7 +178,10 @@ def build_experiment(
     chip = Chip(size_chip_for_model(model, config.chip))
     engine = CrossbarEngine(chip).bind(model)
     injector = FaultInjector(config.faults, hub.stream("faults"))
-    policy = make_policy(config.policy, config.policy_param, config.remap_threshold)
+    policy = make_policy(
+        config.policy, config.policy_param, config.remap_threshold,
+        **config.policy_kwargs,
+    )
     trainer = Trainer(model, dataset, tc, hub.stream("train"), logger)
     if config.variation is not None:
         engine.set_variation(config.variation, hub.stream("variation"))

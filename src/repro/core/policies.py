@@ -288,25 +288,30 @@ class RemapDPolicy(Policy):
         self._remap_pass(ctx, epoch)
 
 
-def make_policy(name: str, param: float | None = None, threshold: float = 0.002) -> Policy:
+def make_policy(
+    name: str, param: float | None = None, threshold: float = 0.002, **kwargs
+) -> Policy:
     """Build a policy by name.
 
     ``param`` parameterises remap-ws / remap-t fractions (defaults 0.05
-    and 0.10 as in the paper); ``threshold`` is Remap-D's trigger.
+    and 0.10 as in the paper); ``threshold`` is Remap-D's trigger.  Extra
+    keyword arguments are forwarded to the policy constructor (the
+    ablation benches use this for Remap-D's receiver_rule /
+    phase_priority variants via ``ExperimentConfig.policy_kwargs``).
     """
     name = name.lower()
     if name == "ideal":
-        return IdealPolicy()
+        return IdealPolicy(**kwargs)
     if name == "none":
-        return NoProtectionPolicy()
+        return NoProtectionPolicy(**kwargs)
     if name == "an-code":
-        return ANCodePolicy()
+        return ANCodePolicy(**kwargs)
     if name == "static":
-        return StaticMappingPolicy()
+        return StaticMappingPolicy(**kwargs)
     if name == "remap-ws":
-        return RemapWSPolicy(param if param else 0.05)
+        return RemapWSPolicy(param if param else 0.05, **kwargs)
     if name == "remap-t":
-        return RemapTNPolicy(param if param else 0.10)
+        return RemapTNPolicy(param if param else 0.10, **kwargs)
     if name == "remap-d":
-        return RemapDPolicy(threshold=threshold)
+        return RemapDPolicy(threshold=threshold, **kwargs)
     raise ValueError(f"unknown policy {name!r}; choose from {POLICY_NAMES}")

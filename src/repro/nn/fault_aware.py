@@ -154,7 +154,9 @@ class CrossbarEngine:
         Without this clip, a weight driven by a pinned (faulty) gradient
         would drift arbitrarily far in the digital master copy and leak
         back as a huge value when the block is reprogrammed after a remap.
-        Called by the trainer after every optimiser step.
+        Called by the trainer after every optimiser step.  The per-copy
+        limit overlays are cached by the mappings and only rebuilt when a
+        block recalibrates.
         """
         if not self.faults_enabled:
             return
@@ -163,23 +165,10 @@ class CrossbarEngine:
                 continue
             fwd, bwd = self.copies[module.layer_key]
             w2d = module.weight.data.reshape(module.matrix_shape)
-            limit = np.minimum(
-                self._scale_overlay(fwd, transpose=True),
-                self._scale_overlay(bwd, transpose=False),
-            )
+            # The forward copy stores W^T, so its overlay transposes into
+            # the layer's (out, in) orientation.
+            limit = np.minimum(fwd.clip_limit_overlay().T, bwd.clip_limit_overlay())
             np.clip(w2d, -limit, limit, out=w2d)
-
-    @staticmethod
-    def _scale_overlay(mapping, transpose: bool) -> np.ndarray:
-        """Per-weight programming-range limits in (out, in) orientation.
-
-        Blocks still awaiting calibration (NaN scale) impose no limit.
-        """
-        rows, cols = mapping.block_rows, mapping.block_cols
-        scales = np.where(np.isnan(mapping.scales), np.inf, mapping.scales)
-        overlay = np.repeat(np.repeat(scales, rows, axis=0), cols, axis=1)
-        overlay = overlay[: mapping.matrix_shape[0], : mapping.matrix_shape[1]]
-        return overlay.T if transpose else overlay
 
     # ------------------------------------------------------------------ #
     # policy hooks
@@ -197,13 +186,21 @@ class CrossbarEngine:
         """
         if key not in self.copies:
             raise KeyError(f"unknown layer key {key!r}")
-        out_in = None
-        for mask in (fwd_mask, bwd_mask):
-            if mask is not None:
-                if mask.dtype != bool:
-                    raise TypeError("override masks must be boolean")
-                if out_in is None:
-                    out_in = mask.shape
+        fwd, bwd = self.copies[key]
+        # Both masks are (out, in): the backward copy stores the matrix in
+        # that orientation directly, the forward copy stores its transpose.
+        out_in = (fwd.matrix_shape[1], fwd.matrix_shape[0])
+        assert bwd.matrix_shape == out_in
+        for phase, mask in (("fwd", fwd_mask), ("bwd", bwd_mask)):
+            if mask is None:
+                continue
+            if mask.dtype != bool:
+                raise TypeError("override masks must be boolean")
+            if mask.shape != out_in:
+                raise ValueError(
+                    f"{phase} override mask shape {mask.shape} does not match "
+                    f"layer {key!r} (out, in) shape {out_in}"
+                )
         self._overrides[key] = (fwd_mask, bwd_mask)
 
     def clear_overrides(self) -> None:

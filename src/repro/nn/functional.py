@@ -15,6 +15,7 @@ from repro.nn.tensor import Tensor
 __all__ = [
     "im2col",
     "col2im",
+    "clear_scratch",
     "conv_output_size",
     "relu",
     "maxpool2d",
@@ -30,6 +31,28 @@ __all__ = [
 # --------------------------------------------------------------------- #
 # im2col / col2im
 # --------------------------------------------------------------------- #
+#: reusable scratch arrays for the unfold/fold temporaries, keyed by
+#: (tag, shape, dtype).  Conv layers hit the same handful of shapes every
+#: batch, so the pool stays small while eliminating the largest per-batch
+#: allocations.  Single-threaded per process (the parallel benchmark
+#: runner forks whole processes, each with its own pool).
+_SCRATCH: dict[tuple, np.ndarray] = {}
+
+
+def _scratch(tag: str, shape: tuple[int, ...], dtype) -> np.ndarray:
+    key = (tag, shape, np.dtype(dtype).str)
+    buf = _SCRATCH.get(key)
+    if buf is None:
+        buf = np.empty(shape, dtype=dtype)
+        _SCRATCH[key] = buf
+    return buf
+
+
+def clear_scratch() -> None:
+    """Drop all cached scratch buffers (frees memory between experiments)."""
+    _SCRATCH.clear()
+
+
 def conv_output_size(size: int, kernel: int, stride: int, pad: int) -> int:
     out = (size + 2 * pad - kernel) // stride + 1
     if out <= 0:
@@ -53,14 +76,20 @@ def im2col(
     ow = conv_output_size(w, kw, stride, pad)
     if pad > 0:
         x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
-    cols = np.empty((n, c, kh, kw, oh, ow), dtype=x.dtype)
+    # The 6-D gather buffer never escapes this function, so it comes from
+    # the scratch pool; the returned patch matrix is captured by autograd
+    # closures and must be a fresh allocation.
+    cols = _scratch("im2col", (n, c, kh, kw, oh, ow), x.dtype)
     for i in range(kh):
         i_end = i + stride * oh
         for j in range(kw):
             j_end = j + stride * ow
             cols[:, :, i, j, :, :] = x[:, :, i:i_end:stride, j:j_end:stride]
-    cols = cols.transpose(0, 4, 5, 1, 2, 3).reshape(n * oh * ow, c * kh * kw)
-    return cols, oh, ow
+    out = np.empty((n * oh * ow, c * kh * kw), dtype=x.dtype)
+    np.copyto(
+        out.reshape(n, oh, ow, c, kh, kw), cols.transpose(0, 4, 5, 1, 2, 3)
+    )
+    return out, oh, ow
 
 
 def col2im(
@@ -71,12 +100,20 @@ def col2im(
     stride: int,
     pad: int,
 ) -> np.ndarray:
-    """Fold patch-row gradients back onto the input (adjoint of im2col)."""
+    """Fold patch-row gradients back onto the input (adjoint of im2col).
+
+    The result lives in a reusable scratch buffer: it is valid until the
+    next ``col2im`` call with the same shape, so callers must consume it
+    immediately (``Tensor.accumulate_grad`` copies or adds on the spot).
+    """
     n, c, h, w = x_shape
     oh = conv_output_size(h, kh, stride, pad)
     ow = conv_output_size(w, kw, stride, pad)
     cols = cols.reshape(n, oh, ow, c, kh, kw).transpose(0, 3, 4, 5, 1, 2)
-    x_padded = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
+    x_padded = _scratch(
+        "col2im", (n, c, h + 2 * pad, w + 2 * pad), cols.dtype
+    )
+    x_padded.fill(0.0)
     for i in range(kh):
         i_end = i + stride * oh
         for j in range(kw):
@@ -158,8 +195,11 @@ def global_avgpool2d(x: Tensor) -> Tensor:
 
     def bwd(grad: np.ndarray) -> None:
         if x.requires_grad:
-            gx = np.broadcast_to(grad[:, :, None, None], x.data.shape) * scale
-            x.accumulate_grad(gx.copy())
+            # Scale the small (N, C) gradient first, then broadcast the
+            # view — accumulate_grad copies/adds immediately, so no full
+            # (N, C, H, W) temporary is ever materialised here.
+            gx = np.broadcast_to(grad[:, :, None, None] * scale, x.data.shape)
+            x.accumulate_grad(gx)
 
     return Tensor(out_data, parents=(x,), backward=bwd)
 

@@ -15,8 +15,28 @@ Because the copies are physically distinct crossbars, faults can strike
 the forward and backward phases independently — the property underlying
 Fig. 5 of the paper.  :class:`LayerCopyMapping` manages one such copy: the
 block grid, the pair assignment (mutable — this is what dynamic remapping
-permutes), and the fast vectorised computation of stuck-at-clamped
-effective weights.
+permutes), and the fast computation of stuck-at-clamped effective weights.
+
+Effective-weight hot path
+-------------------------
+``effective_matrix`` runs three times per MVM layer per batch (forward
+weight, backward weight, gradient clamp), so it is the hottest code in
+fault-aware training.  Typically well under 2% of devices are stuck, so
+instead of materialising four dense boolean masks and full-size fraction
+temporaries, the mapping caches
+
+* a flat index array of the (few) stuck positions inside the visible
+  matrix, with per-index SA0/SA1 flags for both arrays of the pair
+  (invalidated by the chip's ``fault_version``), and
+* the per-block calibration scales expanded to a per-weight overlay
+  (invalidated whenever a block is recalibrated).
+
+The healthy-cell computation then collapses to a single fused
+``clip(w, -scale, +scale)`` into a preallocated output buffer, followed
+by pinned-value fixups at the stuck indices only.
+``reference_effective_matrix`` keeps the straightforward dense
+implementation; in float64 the two agree bit for bit (see
+``tests/test_mapping_fastpath.py``).
 """
 
 from __future__ import annotations
@@ -25,7 +45,7 @@ import math
 
 import numpy as np
 
-from repro.faults.types import FaultMap
+from repro.faults.types import FaultType
 
 __all__ = ["blocks_needed", "pad_to_blocks", "LayerCopyMapping"]
 
@@ -47,6 +67,29 @@ def pad_to_blocks(matrix: np.ndarray, rows: int, cols: int) -> np.ndarray:
     padded = np.zeros((nbr * rows, nbc * cols), dtype=matrix.dtype)
     padded[: matrix.shape[0], : matrix.shape[1]] = matrix
     return padded
+
+
+class _FaultIndex:
+    """Flat stuck-cell index cache for one mapping (one fault_version).
+
+    ``idx`` holds C-order flat indices into the *unpadded* stored matrix;
+    the four boolean arrays run parallel to ``idx`` and mark which side of
+    the differential pair is stuck and how; ``block`` holds the flat block
+    index (``br * nbc + bc``) used to gather per-block scales.  Stuck
+    devices in the zero-padded fringe are dropped — they never reach the
+    visible matrix.
+    """
+
+    __slots__ = ("empty", "idx", "sa1_pos", "sa0_pos", "sa1_neg", "sa0_neg", "block")
+
+    def __init__(self, idx, sa1_pos, sa0_pos, sa1_neg, sa0_neg, block):
+        self.idx = idx
+        self.sa1_pos = sa1_pos
+        self.sa0_pos = sa0_pos
+        self.sa1_neg = sa1_neg
+        self.sa0_neg = sa0_neg
+        self.block = block
+        self.empty = idx.size == 0
 
 
 class LayerCopyMapping:
@@ -89,9 +132,10 @@ class LayerCopyMapping:
                 f"pair_ids grid {pair_ids.shape} does not match required {expected}"
             )
         self.pair_ids = pair_ids
-        # Mask cache, invalidated via the owning chip's fault_version.
-        self._mask_version = -1
-        self._masks: dict[str, np.ndarray] | None = None
+        # Stuck-cell index cache, invalidated via the owning chip's
+        # fault_version (and locally by set_pair).
+        self._fault_version = -1
+        self._faults: _FaultIndex | None = None
         #: per-block programming scale (conductance dynamic range), frozen
         #: at calibration time; NaN marks blocks awaiting (re)calibration.
         #: The DAC/programming reference of a crossbar is set when the
@@ -115,6 +159,14 @@ class LayerCopyMapping:
         #: paper's "incorrect gradients get accumulated after each weight
         #: update" mechanism.
         self.grad_scale_headroom = 2.0
+        # Scale-derived caches: the expanded per-weight overlays and the
+        # preallocated effective-matrix output buffers.  The epoch counter
+        # bumps whenever a scale set changes (recalibration or remap), so
+        # stale overlays are rebuilt lazily.
+        self._scale_epoch = {"weight": 0, "grad": 0}
+        self._overlay_cache: dict[tuple, tuple[int, np.ndarray, np.ndarray]] = {}
+        self._limits_cache: tuple[int, np.ndarray] | None = None
+        self._eff_buffers: dict[tuple, np.ndarray] = {}
 
     # ------------------------------------------------------------------ #
     # geometry
@@ -157,24 +209,75 @@ class LayerCopyMapping:
         self.pair_ids[block_row, block_col] = int(pair_id)
         self.scales[block_row, block_col] = np.nan  # recalibrate on write
         self.grad_scales[block_row, block_col] = np.nan
-        self._mask_version = -1  # masks are stale
+        self._fault_version = -1  # stuck-cell index is stale
+        self._scale_epoch["weight"] += 1
+        self._scale_epoch["grad"] += 1
 
     # ------------------------------------------------------------------ #
-    # effective (stuck-at-clamped) weights
+    # stuck-cell overlays
     # ------------------------------------------------------------------ #
-    def assemble_masks(
-        self, pair_lookup, fault_version: int
-    ) -> dict[str, np.ndarray]:
-        """Build (and cache) the padded-matrix stuck-cell overlays.
+    def _fault_index(self, pair_lookup, fault_version: int) -> _FaultIndex:
+        """Build (and cache) the flat stuck-cell index for this mapping."""
+        if self._faults is not None and self._fault_version == fault_version:
+            return self._faults
+        m, n = self.matrix_shape
+        nbr, nbc = self.grid_shape
+        idx_parts: list[np.ndarray] = []
+        s1p: list[np.ndarray] = []
+        s0p: list[np.ndarray] = []
+        s1n: list[np.ndarray] = []
+        s0n: list[np.ndarray] = []
+        blk: list[np.ndarray] = []
+        for br, bc, pair_id in self.iter_blocks():
+            pair = pair_lookup(pair_id)
+            pos_codes = pair.pos.fault_map.codes
+            neg_codes = pair.neg.fault_map.codes
+            faulty = (pos_codes != FaultType.NONE) | (neg_codes != FaultType.NONE)
+            if not faulty.any():
+                continue
+            r, c = np.nonzero(faulty)
+            gr = r + br * self.block_rows
+            gc = c + bc * self.block_cols
+            keep = (gr < m) & (gc < n)
+            if not keep.any():
+                continue
+            r, c, gr, gc = r[keep], c[keep], gr[keep], gc[keep]
+            idx_parts.append(gr * n + gc)
+            pc = pos_codes[r, c]
+            nc = neg_codes[r, c]
+            s1p.append(pc == FaultType.SA1)
+            s0p.append(pc == FaultType.SA0)
+            s1n.append(nc == FaultType.SA1)
+            s0n.append(nc == FaultType.SA0)
+            blk.append(np.full(r.size, br * nbc + bc, dtype=np.int64))
+        if idx_parts:
+            faults = _FaultIndex(
+                np.concatenate(idx_parts),
+                np.concatenate(s1p),
+                np.concatenate(s0p),
+                np.concatenate(s1n),
+                np.concatenate(s0n),
+                np.concatenate(blk),
+            )
+        else:
+            empty_i = np.empty(0, dtype=np.int64)
+            empty_b = np.empty(0, dtype=bool)
+            faults = _FaultIndex(empty_i, empty_b, empty_b, empty_b, empty_b, empty_i)
+        self._faults = faults
+        self._fault_version = fault_version
+        return faults
+
+    def assemble_masks(self, pair_lookup, fault_version: int) -> dict[str, np.ndarray]:
+        """Dense padded-matrix stuck-cell overlays (slow/reference path).
 
         ``pair_lookup`` maps a pair id to a ``CrossbarPair``; the four
         returned boolean arrays (``sa1_pos``, ``sa0_pos``, ``sa1_neg``,
         ``sa0_neg``) have the padded matrix shape and mark which weight
         positions are pinned by a stuck device on the positive / negative
-        array of the assigned pair.
+        array of the assigned pair.  The hot path no longer uses these
+        dense masks — they back :meth:`reference_effective_matrix` and
+        external analysis code.
         """
-        if self._masks is not None and self._mask_version == fault_version:
-            return self._masks
         shape = self.padded_shape
         masks = {
             key: np.zeros(shape, dtype=bool)
@@ -183,8 +286,8 @@ class LayerCopyMapping:
         any_fault = False
         for br, bc, pair_id in self.iter_blocks():
             pair = pair_lookup(pair_id)
-            pos_map: FaultMap = pair.pos.fault_map
-            neg_map: FaultMap = pair.neg.fault_map
+            pos_map = pair.pos.fault_map
+            neg_map = pair.neg.fault_map
             rs, cs = self.block_slices(br, bc)
             if pos_map.count() > 0:
                 masks["sa1_pos"][rs, cs] = pos_map.sa1_mask
@@ -198,10 +301,11 @@ class LayerCopyMapping:
             masks["sa1_pos"] | masks["sa0_pos"] | masks["sa1_neg"] | masks["sa0_neg"]
         )
         masks["_empty"] = np.asarray(not any_fault)
-        self._masks = masks
-        self._mask_version = fault_version
         return masks
 
+    # ------------------------------------------------------------------ #
+    # effective (stuck-at-clamped) weights
+    # ------------------------------------------------------------------ #
     def effective_matrix(
         self, matrix: np.ndarray, pair_lookup, fault_version: int,
         which: str = "weight",
@@ -216,8 +320,64 @@ class LayerCopyMapping:
         range).  Scales are frozen at calibration (first write / remap)
         — a stuck device therefore pins its value at up to +-scale
         regardless of how the healthy values evolve.
+
+        The computation runs in ``matrix``'s floating dtype (float32
+        training stays in float32; float64 inputs keep full precision and
+        match :meth:`reference_effective_matrix` bit for bit).
+
+        .. warning::
+           When faults are present, the returned array is a preallocated
+           per-``which`` buffer owned by this mapping: it is valid until
+           the next ``effective_matrix`` call with the same ``which`` and
+           dtype, and must not be mutated by the caller.
         """
-        matrix = np.asarray(matrix, dtype=np.float64)
+        matrix = np.asarray(matrix)
+        if matrix.dtype not in (np.float32, np.float64):
+            matrix = matrix.astype(np.float64)
+        if matrix.shape != self.matrix_shape:
+            raise ValueError(
+                f"matrix shape {matrix.shape} != mapping shape {self.matrix_shape}"
+            )
+        faults = self._fault_index(pair_lookup, fault_version)
+        scales = self._refresh_scales(matrix, which)
+        if faults.empty:
+            return matrix
+        matrix = np.ascontiguousarray(matrix)
+        dtype = matrix.dtype
+        neg_overlay, pos_overlay = self._scale_overlay(which, dtype)
+        out = self._eff_buffer(which, dtype)
+        # Fused fast path: healthy devices saturate at the calibrated
+        # range, which for the differential encoding is exactly a clip.
+        np.clip(matrix, neg_overlay, pos_overlay, out=out)
+        # Sparse pinned-value fixups at the stuck positions only, using
+        # the same fraction arithmetic as the dense reference.
+        sv = scales.ravel()[faults.block].astype(dtype, copy=False)
+        wv = matrix.ravel()[faults.idx]
+        frac_pos = np.clip(np.clip(wv, 0.0, None) / sv, 0.0, 1.0)
+        frac_neg = np.clip(np.clip(-wv, 0.0, None) / sv, 0.0, 1.0)
+        frac_pos[faults.sa1_pos] = 1.0
+        frac_pos[faults.sa0_pos] = 0.0
+        frac_neg[faults.sa1_neg] = 1.0
+        frac_neg[faults.sa0_neg] = 0.0
+        out.ravel()[faults.idx] = (frac_pos - frac_neg) * sv
+        return out
+
+    def reference_effective_matrix(
+        self, matrix: np.ndarray, pair_lookup, fault_version: int,
+        which: str = "weight",
+    ) -> np.ndarray:
+        """Straightforward dense implementation of :meth:`effective_matrix`.
+
+        Pads the matrix to whole blocks, builds the four dense stuck-cell
+        masks, computes the differential fractions everywhere and pins the
+        stuck positions — the allocation-heavy formulation the fast path
+        replaced.  Kept as the equivalence oracle for tests and the
+        baseline for ``benchmarks/bench_hotpath.py``; in float64 it agrees
+        with the fast path bit for bit.
+        """
+        matrix = np.asarray(matrix)
+        if matrix.dtype not in (np.float32, np.float64):
+            matrix = matrix.astype(np.float64)
         if matrix.shape != self.matrix_shape:
             raise ValueError(
                 f"matrix shape {matrix.shape} != mapping shape {self.matrix_shape}"
@@ -229,25 +389,27 @@ class LayerCopyMapping:
         rows, cols = self.block_rows, self.block_cols
         nbr, nbc = self.grid_shape
         padded = pad_to_blocks(matrix, rows, cols)
-        view = padded.reshape(nbr, rows, nbc, cols)
-        s_full = scales[:, None, :, None]
+        s_exp = np.repeat(np.repeat(scales, rows, axis=0), cols, axis=1)
+        s_exp = s_exp.astype(matrix.dtype, copy=False)
 
-        # Healthy devices saturate at the calibrated range (fractions are
-        # clipped to [0, 1]); stuck devices are pinned afterwards.
-        frac_pos = np.clip(np.clip(view, 0.0, None) / s_full, 0.0, 1.0)
-        frac_neg = np.clip(np.clip(-view, 0.0, None) / s_full, 0.0, 1.0)
-        frac_pos = frac_pos.reshape(padded.shape)
-        frac_neg = frac_neg.reshape(padded.shape)
+        # Healthy devices saturate at the calibrated range.
+        eff = np.clip(padded, -s_exp, s_exp)
 
+        # Stuck devices: recompute the differential fractions densely,
+        # pin the faulty ones, and overwrite those positions.
+        frac_pos = np.clip(np.clip(padded, 0.0, None) / s_exp, 0.0, 1.0)
+        frac_neg = np.clip(np.clip(-padded, 0.0, None) / s_exp, 0.0, 1.0)
         frac_pos[masks["sa1_pos"]] = 1.0
         frac_pos[masks["sa0_pos"]] = 0.0
         frac_neg[masks["sa1_neg"]] = 1.0
         frac_neg[masks["sa0_neg"]] = 0.0
-
-        eff = (frac_pos - frac_neg).reshape(nbr, rows, nbc, cols) * s_full
-        eff = eff.reshape(padded.shape)
+        pinned = masks["any"]
+        eff[pinned] = ((frac_pos - frac_neg) * s_exp)[pinned]
         return eff[: matrix.shape[0], : matrix.shape[1]]
 
+    # ------------------------------------------------------------------ #
+    # calibration scales and derived overlays
+    # ------------------------------------------------------------------ #
     def _refresh_scales(self, matrix: np.ndarray, which: str = "weight") -> np.ndarray:
         """Return the calibration scales for the weight or gradient path.
 
@@ -261,7 +423,7 @@ class LayerCopyMapping:
         if stale.any():
             rows, cols = self.block_rows, self.block_cols
             nbr, nbc = self.grid_shape
-            padded = pad_to_blocks(matrix, rows, cols)
+            padded = pad_to_blocks(np.asarray(matrix, dtype=np.float64), rows, cols)
             # Robust calibration: the programming / ADC range targets the
             # bulk of the block's distribution (99th percentile), so a few
             # fault-drifted outlier values cannot inflate the range when a
@@ -278,7 +440,60 @@ class LayerCopyMapping:
                 self.scales = scales
             else:
                 self.grad_scales = scales
+            self._scale_epoch[which] += 1
+            self._limits_cache = None
         return scales
+
+    def _scale_overlay(self, which: str, dtype) -> tuple[np.ndarray, np.ndarray]:
+        """Cached (-overlay, +overlay) per-weight scale expansion.
+
+        The overlay is the per-block calibration scale repeated out to the
+        stored-matrix shape, cropped to the visible region, in the compute
+        dtype.  Rebuilt only when the scale set changes.
+        """
+        key = (which, np.dtype(dtype).str)
+        epoch = self._scale_epoch[which]
+        cached = self._overlay_cache.get(key)
+        if cached is not None and cached[0] == epoch:
+            return cached[1], cached[2]
+        scales = self.scales if which == "weight" else self.grad_scales
+        m, n = self.matrix_shape
+        overlay = np.repeat(
+            np.repeat(scales, self.block_rows, axis=0), self.block_cols, axis=1
+        )[:m, :n]
+        pos = np.ascontiguousarray(overlay, dtype=dtype)
+        neg = -pos
+        self._overlay_cache[key] = (epoch, neg, pos)
+        return neg, pos
+
+    def clip_limit_overlay(self) -> np.ndarray:
+        """Per-weight programming-range limits in the stored orientation.
+
+        Blocks still awaiting calibration (NaN scale) impose no limit
+        (+inf).  Cached against the weight-scale epoch; consumed by the
+        engine's in-situ range clipping after every optimiser step.  The
+        returned array is shared — callers must not mutate it.
+        """
+        epoch = self._scale_epoch["weight"]
+        if self._limits_cache is not None and self._limits_cache[0] == epoch:
+            return self._limits_cache[1]
+        m, n = self.matrix_shape
+        limits = np.where(np.isnan(self.scales), np.inf, self.scales)
+        overlay = np.ascontiguousarray(
+            np.repeat(
+                np.repeat(limits, self.block_rows, axis=0), self.block_cols, axis=1
+            )[:m, :n]
+        )
+        self._limits_cache = (epoch, overlay)
+        return overlay
+
+    def _eff_buffer(self, which: str, dtype) -> np.ndarray:
+        key = (which, np.dtype(dtype).str)
+        buf = self._eff_buffers.get(key)
+        if buf is None:
+            buf = np.empty(self.matrix_shape, dtype=dtype)
+            self._eff_buffers[key] = buf
+        return buf
 
     def crossbar_ids(self, pair_lookup) -> list[int]:
         """All physical crossbar ids backing this copy (for wear tracking)."""

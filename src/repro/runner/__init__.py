@@ -1,0 +1,17 @@
+"""Process-parallel experiment fan-out (see :mod:`repro.runner.runner`)."""
+
+from repro.runner.runner import (
+    CellResult,
+    ExperimentCell,
+    default_workers,
+    results_by_key,
+    run_experiments,
+)
+
+__all__ = [
+    "CellResult",
+    "ExperimentCell",
+    "default_workers",
+    "results_by_key",
+    "run_experiments",
+]

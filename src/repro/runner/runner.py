@@ -1,0 +1,220 @@
+"""Process-parallel experiment runner.
+
+The figure benchmarks sweep a grid of independent ``(model, policy,
+dataset, seed)`` cells; each cell is one full fault-tolerant training run
+with its own chip, dataset and RNG hub, so cells share no state and
+parallelise perfectly.  ``run_experiments`` fans a list of cells across a
+``multiprocessing`` pool:
+
+* **Determinism** — every cell derives all randomness from its config's
+  seed through :class:`repro.utils.rng.RngHub`, and the compute dtype
+  rides in ``TrainConfig.dtype``, so a cell's result is identical at
+  ``workers=1`` and ``workers=N`` (and across start methods).
+* **Failure isolation** — a crashed cell produces a :class:`CellResult`
+  carrying the traceback instead of killing the whole sweep.
+* **Oversubscription control** — workers pin their BLAS thread pools to a
+  single thread when ``threadpoolctl`` is available; the matrices here
+  are small enough that process-level parallelism dominates.
+
+The worker count resolves from the ``REPRO_BENCH_WORKERS`` environment
+variable (``"auto"`` = one worker per CPU) and defaults to serial
+execution, which runs inline without a pool.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.utils.config import ExperimentConfig
+
+__all__ = [
+    "ExperimentCell",
+    "CellResult",
+    "default_workers",
+    "results_by_key",
+    "run_experiments",
+]
+
+WORKERS_ENV = "REPRO_BENCH_WORKERS"
+
+
+@dataclass(frozen=True)
+class ExperimentCell:
+    """One unit of work: a hashable key plus the full experiment config."""
+
+    key: Any
+    config: ExperimentConfig
+    #: free-form labels carried through to the result (figure row/column
+    #: names, sweep coordinates, ...).
+    tags: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class CellResult:
+    """Outcome of one cell: either an ExperimentResult or an error record."""
+
+    key: Any
+    ok: bool
+    #: :class:`repro.core.controller.ExperimentResult` on success.
+    result: Any
+    #: formatted traceback on failure, None on success.
+    error: str | None
+    wall_seconds: float
+    worker_pid: int
+    tags: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def final_accuracy(self) -> float:
+        """Final accuracy, NaN for failed cells (poisons downstream means
+        loudly instead of silently dropping the cell)."""
+        return self.result.final_accuracy if self.ok else float("nan")
+
+
+def default_workers() -> int:
+    """Worker count from ``REPRO_BENCH_WORKERS`` (default: serial)."""
+    raw = os.environ.get(WORKERS_ENV, "").strip().lower()
+    if not raw:
+        return 1
+    if raw == "auto":
+        return max(1, os.cpu_count() or 1)
+    try:
+        value = int(raw)
+    except ValueError as exc:
+        raise ValueError(
+            f"{WORKERS_ENV} must be an integer or 'auto', got {raw!r}"
+        ) from exc
+    return max(1, value)
+
+
+def _limit_worker_threads() -> None:
+    """Pin BLAS pools to one thread per worker process (best effort)."""
+    os.environ.setdefault("OMP_NUM_THREADS", "1")
+    os.environ.setdefault("OPENBLAS_NUM_THREADS", "1")
+    try:  # pragma: no cover - optional dependency
+        import threadpoolctl
+
+        global _THREADPOOL_LIMIT  # keep the controller alive
+        _THREADPOOL_LIMIT = threadpoolctl.threadpool_limits(1)
+    except Exception:
+        pass
+
+
+def _run_cell(indexed: tuple[int, ExperimentCell]) -> tuple[int, CellResult]:
+    """Worker body: run one experiment, never raise."""
+    index, cell = indexed
+    t0 = time.perf_counter()
+    # Belt-and-braces per-cell seeding of the *global* NumPy RNG: the
+    # simulator draws everything from the config-seeded RngHub, but any
+    # stray np.random user is made deterministic per cell rather than
+    # inheriting whatever state the worker accumulated.
+    np.random.seed((int(cell.config.seed) * 2654435761 + index) % (2**32))
+    try:
+        from repro.core.controller import run_experiment
+
+        result = run_experiment(cell.config)
+        ok, error = True, None
+    except Exception:
+        result, ok, error = None, False, traceback.format_exc()
+    return index, CellResult(
+        key=cell.key,
+        ok=ok,
+        result=result,
+        error=error,
+        wall_seconds=time.perf_counter() - t0,
+        worker_pid=os.getpid(),
+        tags=dict(cell.tags),
+    )
+
+
+def _normalise(cells: Iterable) -> list[ExperimentCell]:
+    out: list[ExperimentCell] = []
+    for i, cell in enumerate(cells):
+        if isinstance(cell, ExperimentCell):
+            out.append(cell)
+        elif isinstance(cell, ExperimentConfig):
+            out.append(ExperimentCell(key=i, config=cell))
+        elif isinstance(cell, tuple) and len(cell) == 2:
+            key, config = cell
+            out.append(ExperimentCell(key=key, config=config))
+        else:
+            raise TypeError(
+                "cells must be ExperimentCell, ExperimentConfig or "
+                f"(key, config) tuples; got {type(cell).__name__}"
+            )
+    return out
+
+
+def run_experiments(
+    cells: Iterable,
+    workers: int | None = None,
+    *,
+    start_method: str | None = None,
+    on_result: Callable[[CellResult], None] | None = None,
+) -> list[CellResult]:
+    """Run independent experiment cells, optionally across processes.
+
+    Parameters
+    ----------
+    cells:
+        ``ExperimentCell`` objects, bare ``ExperimentConfig`` objects, or
+        ``(key, config)`` tuples.
+    workers:
+        Process count; ``None`` resolves ``REPRO_BENCH_WORKERS`` (serial
+        by default, ``auto`` = CPU count).  ``workers <= 1`` runs inline
+        with no pool — bit-identical to the parallel path.
+    start_method:
+        ``multiprocessing`` start method; default prefers ``fork`` (cheap
+        on Linux) and falls back to ``spawn``.
+    on_result:
+        Optional progress callback, invoked in the parent as each cell
+        finishes (completion order, not submission order).
+
+    Returns
+    -------
+    list[CellResult] in the submission order of ``cells``.
+    """
+    cell_list = _normalise(cells)
+    if not cell_list:
+        return []
+    if workers is None:
+        workers = default_workers()
+    workers = max(1, min(int(workers), len(cell_list)))
+
+    results: list[CellResult | None] = [None] * len(cell_list)
+    if workers == 1:
+        for indexed in enumerate(cell_list):
+            index, res = _run_cell(indexed)
+            results[index] = res
+            if on_result is not None:
+                on_result(res)
+    else:
+        if start_method is None:
+            available = mp.get_all_start_methods()
+            start_method = "fork" if "fork" in available else "spawn"
+        ctx = mp.get_context(start_method)
+        with ctx.Pool(processes=workers, initializer=_limit_worker_threads) as pool:
+            for index, res in pool.imap_unordered(
+                _run_cell, list(enumerate(cell_list)), chunksize=1
+            ):
+                results[index] = res
+                if on_result is not None:
+                    on_result(res)
+    assert all(r is not None for r in results)
+    return results  # type: ignore[return-value]
+
+
+def results_by_key(results: Sequence[CellResult]) -> dict[Any, CellResult]:
+    """Index results by cell key (keys must be unique and hashable)."""
+    out: dict[Any, CellResult] = {}
+    for res in results:
+        if res.key in out:
+            raise ValueError(f"duplicate cell key {res.key!r}")
+        out[res.key] = res
+    return out

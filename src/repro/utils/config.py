@@ -197,6 +197,12 @@ class TrainConfig:
     seed: int = 0
     #: cosine LR decay toward lr * lr_final_fraction.
     lr_final_fraction: float = 0.1
+    #: compute dtype for the whole run ("float32" or "float64").  float32
+    #: is ~2x faster; float64 reproduces the bit-exact clamp numerics the
+    #: equivalence tests check.  Carried in the config (rather than set
+    #: globally by the caller) so parallel runner workers configure their
+    #: own process correctly.
+    dtype: str = "float32"
 
     def __post_init__(self) -> None:
         if self.epochs <= 0 or self.batch_size <= 0:
@@ -207,6 +213,8 @@ class TrainConfig:
             raise ValueError("width_mult must be in (0, 4]")
         if self.n_train <= 0 or self.n_test <= 0:
             raise ValueError("dataset sizes must be positive")
+        if self.dtype not in ("float32", "float64"):
+            raise ValueError("dtype must be 'float32' or 'float64'")
 
 
 @dataclass
@@ -222,6 +230,11 @@ class ExperimentConfig:
     remap_threshold: float = 0.002
     #: spare fraction for Remap-T-n% / Remap-WS style policies.
     policy_param: float = 0.0
+    #: extra keyword arguments forwarded to the policy constructor (e.g.
+    #: Remap-D's receiver_rule / phase_priority ablations).  Carried in
+    #: the config so ablation variants survive pickling into runner
+    #: worker processes.
+    policy_kwargs: dict[str, Any] = field(default_factory=dict)
     #: optional analog non-ideality model (programming error, read noise)
     #: applied on top of the stuck-at faults; None disables it.
     variation: "VariationModel | None" = None

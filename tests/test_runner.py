@@ -1,0 +1,131 @@
+"""Runner tests: serial/parallel parity, failure isolation, env parsing."""
+
+import numpy as np
+import pytest
+
+from repro.runner import (
+    CellResult,
+    ExperimentCell,
+    default_workers,
+    results_by_key,
+    run_experiments,
+)
+from repro.runner.runner import WORKERS_ENV, _normalise
+from repro.utils.config import (
+    ChipConfig,
+    CrossbarConfig,
+    ExperimentConfig,
+    FaultConfig,
+    TrainConfig,
+)
+
+
+def _tiny(model: str = "vgg11", seed: int = 11, **train_kw) -> ExperimentConfig:
+    train_kw.setdefault("epochs", 1)
+    return ExperimentConfig(
+        train=TrainConfig(
+            model=model, batch_size=16, n_train=32, n_test=32,
+            width_mult=0.125, **train_kw,
+        ),
+        chip=ChipConfig(crossbar=CrossbarConfig(rows=32, cols=32)),
+        faults=FaultConfig(),
+        policy="none",
+        seed=seed,
+    )
+
+
+class TestDefaultWorkers:
+    def test_unset_means_serial(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert default_workers() == 1
+
+    def test_explicit_count(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "4")
+        assert default_workers() == 4
+
+    def test_auto_uses_cpu_count(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "auto")
+        assert default_workers() >= 1
+
+    def test_garbage_rejected(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "many")
+        with pytest.raises(ValueError):
+            default_workers()
+
+    def test_nonpositive_clamped_to_serial(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "0")
+        assert default_workers() == 1
+
+
+class TestNormalise:
+    def test_accepts_all_cell_spellings(self):
+        cfg = _tiny()
+        cells = _normalise([
+            ExperimentCell("a", cfg), cfg, ("c", cfg),
+        ])
+        assert [c.key for c in cells] == ["a", 1, "c"]
+
+    def test_rejects_unknown(self):
+        with pytest.raises(TypeError):
+            _normalise(["not a cell"])
+
+
+class TestRunExperiments:
+    def test_empty_input(self):
+        assert run_experiments([]) == []
+
+    def test_serial_vs_pool_identical(self):
+        cells = [
+            ExperimentCell("a", _tiny(seed=11)),
+            ExperimentCell("b", _tiny(seed=12)),
+        ]
+        serial = run_experiments(cells, workers=1)
+        pooled = run_experiments(cells, workers=2)
+        assert [r.key for r in serial] == ["a", "b"]  # submission order
+        assert [r.key for r in pooled] == ["a", "b"]
+        for s, p in zip(serial, pooled):
+            assert s.ok and p.ok
+            assert s.final_accuracy == p.final_accuracy
+            assert (
+                s.result.train_result.accuracy_curve()
+                == p.result.train_result.accuracy_curve()
+            )
+
+    def test_failure_isolation(self):
+        cells = [
+            ExperimentCell("good", _tiny(seed=11)),
+            ExperimentCell("bad", _tiny(model="no-such-model")),
+        ]
+        results = run_experiments(cells, workers=1)
+        good, bad = results
+        assert good.ok and not bad.ok
+        assert "no-such-model" in bad.error
+        assert np.isnan(bad.final_accuracy)
+        assert good.final_accuracy == good.result.final_accuracy
+
+    def test_on_result_callback_sees_every_cell(self):
+        seen = []
+        cells = [ExperimentCell(i, _tiny(seed=20 + i)) for i in range(2)]
+        run_experiments(cells, workers=1, on_result=seen.append)
+        assert sorted(r.key for r in seen) == [0, 1]
+
+    def test_tags_carried_through(self):
+        cell = ExperimentCell("t", _tiny(), tags={"row": "vgg11"})
+        (res,) = run_experiments([cell], workers=1)
+        assert res.tags == {"row": "vgg11"}
+
+
+class TestResultsByKey:
+    def _res(self, key) -> CellResult:
+        return CellResult(
+            key=key, ok=False, result=None, error="x",
+            wall_seconds=0.0, worker_pid=0,
+        )
+
+    def test_indexing(self):
+        by_key = results_by_key([self._res("a"), self._res("b")])
+        assert set(by_key) == {"a", "b"}
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(ValueError):
+            results_by_key([self._res("a"), self._res("a")])
