@@ -2,15 +2,20 @@
 
 Times the sparse fused-clamp ``effective_matrix`` fast path against the
 retained dense reference implementation (the pre-optimisation
-formulation), one fault-aware training epoch, and a runner fan-out, and
-writes the numbers to ``benchmarks/results/hotpath.json`` — the source of
-the wall-clock figures quoted in EXPERIMENTS.md.
+formulation), the recomputation-elimination eval path (version-keyed
+effective-weight cache + autograd-free inference), one fault-aware
+training epoch, and a runner fan-out, and writes the numbers to
+``benchmarks/results/hotpath.json`` — the source of the wall-clock
+figures quoted in EXPERIMENTS.md.
 
-The headline acceptance number: at 2% stuck-cell density on 32x32 blocks
-the fast path must beat the dense reference by >= 3x (it typically lands
-near 15-20x, because the dense path allocates four boolean masks plus
-several full-size float temporaries per call while the fast path touches
-only the stuck positions).
+Acceptance gates (asserted by ``test_hotpath``):
+
+* at 2% stuck-cell density on 32x32 blocks the sparse clamp must beat
+  the dense reference by >= 3x;
+* on the reference (256, 512) layer, evaluation with the effective-weight
+  cache + ``no_grad`` must beat the cache-off graph-building eval path
+  (the PR 1 baseline) by >= 3x, and a fig5-style smoke cell must produce
+  **bit-identical** accuracy curves with the fast paths on and off.
 """
 
 from __future__ import annotations
@@ -21,6 +26,9 @@ import time
 import numpy as np
 
 from repro.faults.types import FaultType
+from repro.nn.fault_aware import CrossbarEngine
+from repro.nn.layers import Linear, Sequential
+from repro.nn.tensor import Tensor, no_grad
 from repro.reram.chip import Chip
 from repro.runner import ExperimentCell, run_experiments
 from repro.utils.config import ChipConfig, CrossbarConfig
@@ -86,6 +94,113 @@ def bench_effective_matrix(density: float) -> dict:
     }
 
 
+def _bound_eval_layer():
+    """A bound Linear with the reference (256, 512) matrix, 2% stuck cells
+    in both crossbar copies, and a 64-sample eval batch."""
+    chip = Chip(ChipConfig(crossbar=CrossbarConfig(rows=BLOCK, cols=BLOCK)))
+    rng = np.random.default_rng(7)
+    model = Sequential(Linear(MATRIX_SHAPE[1], MATRIX_SHAPE[0], rng=rng))
+    engine = CrossbarEngine(chip).bind(model)
+    (key,) = engine.layer_keys()
+    for mapping in engine.copies[key]:
+        for _, _, pair_id in mapping.iter_blocks():
+            pair = chip.pair(int(pair_id))
+            for fmap in (pair.pos.fault_map, pair.neg.fault_map):
+                count = int(round(DENSITY * fmap.cells))
+                cells = rng.choice(fmap.cells, size=count, replace=False)
+                is_sa0 = rng.random(count) < 0.5
+                fmap.inject(cells[is_sa0], FaultType.SA0)
+                fmap.inject(cells[~is_sa0], FaultType.SA1)
+    chip.bump_fault_version()
+    x = rng.normal(0.0, 1.0, size=(64, MATRIX_SHAPE[1]))
+    return model, engine, x
+
+
+def bench_eval_path() -> dict:
+    """Full eval passes: PR 1 baseline vs cached clamp + no_grad.
+
+    Baseline re-clamps both crossbar copies and builds the autograd graph
+    on every batch (cache disabled, grad enabled); the fast path serves
+    the forward clamp from the version-keyed cache and skips the backward
+    copy and the graph entirely.  Same layer, same faults, same batch —
+    the outputs are asserted bit-identical before timing.
+    """
+    model, engine, x = _bound_eval_layer()
+
+    def baseline() -> np.ndarray:
+        engine.cache_enabled = False
+        return model(Tensor(x)).data
+
+    def fast() -> np.ndarray:
+        engine.cache_enabled = True
+        with no_grad():
+            return model(Tensor(x)).data
+
+    np.testing.assert_array_equal(baseline(), fast())  # also warms both up
+    base_s = _median_seconds(baseline)
+    fast_s = _median_seconds(fast)
+    return {
+        "batch": int(x.shape[0]),
+        "baseline_us": base_s * 1e6,
+        "fast_us": fast_s * 1e6,
+        "speedup": base_s / fast_s,
+    }
+
+
+def bench_cache_hit() -> dict:
+    """forward_weight alone: cache hit vs forced miss (version bump)."""
+    model, engine, _ = _bound_eval_layer()
+    (layer,) = model.items
+    w2d = layer.weight.data
+    engine.forward_weight(layer.layer_key, w2d)  # prime the cache
+
+    hit_s = _median_seconds(lambda: engine.forward_weight(layer.layer_key, w2d))
+
+    def miss() -> None:
+        layer.weight.bump_version()
+        engine.forward_weight(layer.layer_key, w2d)
+
+    miss()
+    miss_s = _median_seconds(miss)
+    return {
+        "hit_us": hit_s * 1e6,
+        "miss_us": miss_s * 1e6,
+        "speedup": miss_s / hit_s,
+    }
+
+
+def bench_cache_equivalence() -> dict:
+    """Fig. 5-style smoke cell run with the fast paths on and off.
+
+    The cache and no_grad are pure optimisations; the accuracy curve and
+    per-epoch losses must be bit-identical either way.
+    """
+    from repro.core.controller import run_experiment
+
+    def smoke(eval_fastpath: bool):
+        cfg = experiment(
+            "vgg11", "none",
+            FaultConfig(phase_target="forward", phase_density=0.02),
+            seed=13,
+        )
+        cfg.train.epochs = 1
+        cfg.train.n_train = 64
+        cfg.train.n_test = 32
+        cfg.train.eval_fastpath = eval_fastpath
+        return run_experiment(cfg)
+
+    fast = smoke(True)
+    slow = smoke(False)
+    fast_curve = fast.train_result.accuracy_curve()
+    slow_curve = slow.train_result.accuracy_curve()
+    fast_losses = [h["loss"] for h in fast.train_result.history]
+    slow_losses = [h["loss"] for h in slow.train_result.history]
+    return {
+        "accuracy_curve": fast_curve,
+        "identical": fast_curve == slow_curve and fast_losses == slow_losses,
+    }
+
+
 def bench_train_epoch() -> dict:
     """One fault-aware training epoch of the quick-scale resnet12 cell."""
     from repro.core.controller import build_experiment
@@ -128,6 +243,9 @@ def run_hotpath() -> dict:
             "fault_free": bench_effective_matrix(0.0),
             "faulty_2pct": bench_effective_matrix(DENSITY),
         },
+        "eval_path": bench_eval_path(),
+        "cache_hit": bench_cache_hit(),
+        "cache_equivalence": bench_cache_equivalence(),
         "train_epoch": bench_train_epoch(),
         "runner": [bench_runner_fanout(workers=1)],
     }
@@ -144,6 +262,16 @@ def run_hotpath() -> dict:
               f"(median of {REPS})",
         ndigits=1,
     ))
+    ev = payload["eval_path"]
+    print(f"eval pass (batch {ev['batch']}, cached clamp + no_grad): "
+          f"{ev['fast_us']:.0f}us vs baseline {ev['baseline_us']:.0f}us "
+          f"({ev['speedup']:.1f}x)")
+    ch = payload["cache_hit"]
+    print(f"forward_weight cache: hit {ch['hit_us']:.1f}us vs miss "
+          f"{ch['miss_us']:.0f}us ({ch['speedup']:.0f}x)")
+    print("fig5 smoke cell, fast paths on vs off: "
+          + ("bit-identical" if payload["cache_equivalence"]["identical"]
+             else "MISMATCH"))
     print(f"one fault-aware train epoch (resnet12, {SCALE} recipe): "
           f"{payload['train_epoch']['seconds']:.1f}s")
     print(f"runner fan-out ({payload['runner'][0]['cells']} cells, serial): "
@@ -161,6 +289,11 @@ def test_hotpath(benchmark):
     # slower than the faulty path's reference implementation.
     ff = payload["effective_matrix"]["fault_free"]
     assert ff["fast_us"] < faulty["reference_us"]
+    # Acceptance: cached clamp + no_grad evaluation >= 3x over the
+    # recompute-everything baseline on the reference layer ...
+    assert payload["eval_path"]["speedup"] >= 3.0, payload["eval_path"]
+    # ... without changing a single bit of the training results.
+    assert payload["cache_equivalence"]["identical"], payload["cache_equivalence"]
 
 
 if __name__ == "__main__":

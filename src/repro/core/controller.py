@@ -26,7 +26,7 @@ from repro.core.remap_protocol import RemapPlan
 from repro.faults.distribution import clustered_cells, uniform_cells
 from repro.faults.injector import FaultInjector
 from repro.faults.types import FaultType
-from repro.nn.data import SyntheticDataset, make_dataset
+from repro.nn.data import SyntheticDataset, cached_dataset
 from repro.nn.fault_aware import CrossbarEngine
 from repro.nn.layers import Conv2d, Linear, Module
 from repro.nn.models import build_model
@@ -169,8 +169,12 @@ def build_experiment(
     # to a serial run.  Must happen before the model is built: parameters
     # adopt the default dtype at construction.
     set_default_dtype(tc.dtype)
-    dataset = make_dataset(
-        tc.dataset, tc.n_train, tc.n_test, tc.image_size, hub.stream("data")
+    # Memoised per generation recipe: repeated cells of a sweep (and the
+    # parallel runner's workers) share one generation of each dataset.
+    # The cache draws from the same derived "data" stream this call
+    # always used, so hits are bit-identical to regeneration.
+    dataset = cached_dataset(
+        tc.dataset, tc.n_train, tc.n_test, tc.image_size, config.seed
     )
     model = build_model(
         tc.model, dataset.num_classes, tc.width_mult, hub.stream("init")

@@ -24,7 +24,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["SyntheticDataset", "make_dataset", "DATASET_NAMES"]
+__all__ = [
+    "SyntheticDataset",
+    "make_dataset",
+    "cached_dataset",
+    "dataset_cache_key",
+    "insert_cached_dataset",
+    "clear_dataset_cache",
+    "DATASET_NAMES",
+]
 
 DATASET_NAMES = ("synth-cifar10", "synth-cifar100", "synth-svhn")
 
@@ -194,3 +202,65 @@ def make_dataset(
         y_test=y[n_train:].astype(np.int64),
         num_classes=num_classes,
     )
+
+
+# --------------------------------------------------------------------- #
+# per-process dataset cache
+# --------------------------------------------------------------------- #
+#: generation-recipe key -> dataset.  Experiments seeded identically train
+#: on identical data, so N cells of a figure sweep share one generation.
+#: Per process; the parallel runner prefills it in the parent so forked
+#: workers inherit the arrays copy-on-write (spawned workers receive them
+#: through shared memory — see repro.runner.runner).
+_DATASET_CACHE: dict[tuple, SyntheticDataset] = {}
+
+#: the named RNG stream datasets are derived from (matches the stream the
+#: experiment controller historically used, keeping results bit-identical).
+DATA_STREAM = "data"
+
+
+def dataset_cache_key(
+    name: str, n_train: int, n_test: int, image_size: int, seed: int
+) -> tuple:
+    """The full generation recipe — two equal keys mean identical arrays."""
+    return (name.lower(), int(n_train), int(n_test), int(image_size), int(seed))
+
+
+def _freeze(ds: SyntheticDataset) -> SyntheticDataset:
+    """Mark the arrays read-only: cached datasets are shared across cells."""
+    for arr in (ds.x_train, ds.y_train, ds.x_test, ds.y_test):
+        arr.flags.writeable = False
+    return ds
+
+
+def cached_dataset(
+    name: str, n_train: int, n_test: int, image_size: int, seed: int
+) -> SyntheticDataset:
+    """Memoised :func:`make_dataset` keyed on the full generation recipe.
+
+    The generator draws from the ``"data"`` stream of :class:`RngHub`
+    derived from ``seed`` — exactly the stream ``build_experiment`` always
+    used, so a cache hit is bit-identical to regeneration.  Returned
+    arrays are read-only (shared across experiment cells).
+    """
+    from repro.utils.rng import derive_rng
+
+    key = dataset_cache_key(name, n_train, n_test, image_size, seed)
+    ds = _DATASET_CACHE.get(key)
+    if ds is None:
+        ds = _freeze(
+            make_dataset(name, n_train, n_test, image_size,
+                         derive_rng(int(seed), DATA_STREAM))
+        )
+        _DATASET_CACHE[key] = ds
+    return ds
+
+
+def insert_cached_dataset(key: tuple, ds: SyntheticDataset) -> None:
+    """Install an externally materialised dataset (runner shared memory)."""
+    _DATASET_CACHE[key] = _freeze(ds)
+
+
+def clear_dataset_cache() -> None:
+    """Drop all cached datasets (frees memory between sweeps)."""
+    _DATASET_CACHE.clear()

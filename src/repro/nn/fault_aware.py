@@ -17,6 +17,26 @@ Policies interact with the engine through **override masks**: a boolean
 mask (in the layer's ``(out, in)`` weight orientation) marking weight
 positions whose faults are neutralised — e.g. AN-code-corrected columns,
 or weights remapped to spare fault-free crossbars by Remap-WS/Remap-T.
+
+Effective-weight cache
+----------------------
+The clamped forward/backward weight of a layer is a pure function of
+(weight data, fault state, overrides).  The engine therefore caches each
+layer's effective matrices keyed on the triple of monotonic versions
+
+* ``Parameter.version`` — bumped by every in-place weight write
+  (``SGD.step``, the engine's in-situ range clip);
+* ``Chip.fault_version`` — bumped on every fault injection / remap;
+* ``CrossbarEngine.override_version`` — bumped by ``set_override`` /
+  ``clear_overrides``.
+
+During training every step changes the weights, so the cache simply
+avoids re-clamping within a batch; during evaluation and BIST/remap
+passes nothing changes between batches, so the clamp runs **once per
+fault state** instead of once per batch.  The variation-noise mode
+redraws programming error per read and bypasses the cache entirely.
+Returned arrays are owned by the engine: valid until the layer's next
+recompute, and must not be mutated by callers.
 """
 
 from __future__ import annotations
@@ -47,6 +67,21 @@ class CrossbarEngine:
         #: noise); None disables it.  Set together with variation_rng.
         self.variation: VariationModel | None = None
         self.variation_rng: np.random.Generator | None = None
+        #: master switch for the version-keyed effective-weight cache
+        #: (disable to force a fresh clamp on every read — the pre-cache
+        #: behaviour the equivalence tests compare against).
+        self.cache_enabled = True
+        #: bumped by set_override / clear_overrides; part of the cache key.
+        self.override_version = 0
+        #: layer key -> weight Parameter (for the params_version key part).
+        self._weights: dict[str, "object"] = {}
+        #: (key, path) -> (version tuple, effective matrix).
+        self._eff_cache: dict[tuple[str, str], tuple[tuple, np.ndarray]] = {}
+        #: engine-owned result buffers, (key, path, dtype) -> array.
+        self._eff_buffers: dict[tuple[str, str, str], np.ndarray] = {}
+        #: cache statistics (tests and the hotpath bench read these).
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     # ------------------------------------------------------------------ #
     # binding
@@ -63,6 +98,7 @@ class CrossbarEngine:
                     f"{name}:bwd", "backward", (out_dim, in_dim)
                 )
                 self.copies[name] = (fwd, bwd)
+                self._weights[name] = module.weight
                 module.engine = self
                 module.layer_key = name
         if not self.copies:
@@ -79,26 +115,83 @@ class CrossbarEngine:
     # weight paths (called from the layers on every batch)
     # ------------------------------------------------------------------ #
     def forward_weight(self, key: str, w2d: np.ndarray) -> np.ndarray:
-        """Effective ``(out, in)`` weight as read by the forward MVM."""
-        if not self.faults_enabled:
-            return w2d
-        fwd, _ = self.copies[key]
-        eff = fwd.effective_matrix(w2d.T, self.chip.pair, self.chip.fault_version).T
-        override, _ = self._overrides.get(key, (None, None))
-        if override is not None:
-            eff = np.where(override, w2d, eff)
-        return self._apply_variation(eff)
+        """Effective ``(out, in)`` weight as read by the forward MVM.
+
+        Cached: see the module docstring.  The returned array is owned by
+        the engine and must not be mutated.
+        """
+        return self._effective_weight(key, w2d, "fwd")
 
     def backward_weight(self, key: str, w2d: np.ndarray) -> np.ndarray:
-        """Effective ``(out, in)`` weight as read by the backward MVM."""
+        """Effective ``(out, in)`` weight as read by the backward MVM.
+
+        Cached: see the module docstring.  The returned array is owned by
+        the engine and must not be mutated.
+        """
+        return self._effective_weight(key, w2d, "bwd")
+
+    def _effective_weight(self, key: str, w2d: np.ndarray, path: str) -> np.ndarray:
         if not self.faults_enabled:
             return w2d
-        _, bwd = self.copies[key]
-        eff = bwd.effective_matrix(w2d, self.chip.pair, self.chip.fault_version)
-        _, override = self._overrides.get(key, (None, None))
+        if self.variation is not None and self.variation.active:
+            # Programming error / read noise is redrawn per read — the
+            # effective weight is not a pure function of the versions.
+            eff, _ = self._compute_weight(key, w2d, path)
+            return self._apply_variation(eff)
+        if not self.cache_enabled:
+            eff, _ = self._compute_weight(key, w2d, path)
+            return eff
+        weight = self._weights.get(key)
+        ck = (
+            weight.version if weight is not None else -1,
+            self.chip.fault_version,
+            self.override_version,
+            w2d.dtype.str,
+        )
+        cached = self._eff_cache.get((key, path))
+        if cached is not None and cached[0] == ck:
+            self.cache_hits += 1
+            return cached[1]
+        self.cache_misses += 1
+        eff, shared = self._compute_weight(key, w2d, path)
+        if shared:
+            # The mapping's buffer is overwritten by its next clamp; keep
+            # an engine-owned copy so the cache survives foreign calls.
+            buf_key = (key, path, w2d.dtype.str)
+            buf = self._eff_buffers.get(buf_key)
+            if buf is None or buf.shape != eff.shape:
+                buf = np.empty(eff.shape, dtype=w2d.dtype)
+                self._eff_buffers[buf_key] = buf
+            np.copyto(buf, eff)
+            eff = buf
+        self._eff_cache[(key, path)] = (ck, eff)
+        return eff
+
+    def _compute_weight(
+        self, key: str, w2d: np.ndarray, path: str
+    ) -> tuple[np.ndarray, bool]:
+        """Clamp one weight path; returns ``(effective, shared_buffer)``.
+
+        ``shared_buffer`` is True when the result aliases the mapping's
+        reusable clamp buffer (and must be copied before long-term use).
+        """
+        fwd, bwd = self.copies[key]
+        if path == "fwd":
+            mapping, stored = fwd, w2d.T
+        else:
+            mapping, stored = bwd, w2d
+        raw = mapping.effective_matrix(stored, self.chip.pair, self.chip.fault_version)
+        if raw is stored:  # fault-free passthrough
+            eff, shared = w2d, False
+        elif path == "fwd":
+            eff, shared = raw.T, True
+        else:
+            eff, shared = raw, True
+        override = self._overrides.get(key, (None, None))[0 if path == "fwd" else 1]
         if override is not None:
-            eff = np.where(override, w2d, eff)
-        return self._apply_variation(eff)
+            eff = np.where(override, w2d, eff)  # fresh allocation
+            shared = False
+        return eff, shared
 
     def gradient_weight(self, key: str, grad2d: np.ndarray) -> np.ndarray:
         """Effective ``(out, in)`` weight gradient after the backward MVM.
@@ -169,6 +262,7 @@ class CrossbarEngine:
             # the layer's (out, in) orientation.
             limit = np.minimum(fwd.clip_limit_overlay().T, bwd.clip_limit_overlay())
             np.clip(w2d, -limit, limit, out=w2d)
+            module.weight.bump_version()
 
     # ------------------------------------------------------------------ #
     # policy hooks
@@ -202,9 +296,24 @@ class CrossbarEngine:
                     f"layer {key!r} (out, in) shape {out_in}"
                 )
         self._overrides[key] = (fwd_mask, bwd_mask)
+        self.override_version += 1
 
     def clear_overrides(self) -> None:
         self._overrides.clear()
+        self.override_version += 1
+
+    def invalidate_weight_cache(self) -> None:
+        """Drop all cached effective weights (forces a re-clamp).
+
+        Only needed after mutating state the version keys cannot see —
+        e.g. poking ``Parameter.data`` without :meth:`Parameter.bump_version`
+        or editing fault maps without ``Chip.bump_fault_version``.
+        """
+        self._eff_cache.clear()
+
+    def cache_stats(self) -> dict[str, int]:
+        """Hit/miss counters of the effective-weight cache."""
+        return {"hits": self.cache_hits, "misses": self.cache_misses}
 
     # ------------------------------------------------------------------ #
     # introspection for the controller / policies

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, is_grad_enabled
 
 __all__ = [
     "im2col",
@@ -77,15 +77,21 @@ def im2col(
     if pad > 0:
         x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
     # The 6-D gather buffer never escapes this function, so it comes from
-    # the scratch pool; the returned patch matrix is captured by autograd
-    # closures and must be a fresh allocation.
+    # the scratch pool.  The returned patch matrix is captured by autograd
+    # closures and must be a fresh allocation while a graph is being
+    # built; in inference mode (no_grad) nothing outlives the layer's
+    # matmul, so it comes from the pool too.
     cols = _scratch("im2col", (n, c, kh, kw, oh, ow), x.dtype)
     for i in range(kh):
         i_end = i + stride * oh
         for j in range(kw):
             j_end = j + stride * ow
             cols[:, :, i, j, :, :] = x[:, :, i:i_end:stride, j:j_end:stride]
-    out = np.empty((n * oh * ow, c * kh * kw), dtype=x.dtype)
+    out_shape = (n * oh * ow, c * kh * kw)
+    if is_grad_enabled():
+        out = np.empty(out_shape, dtype=x.dtype)
+    else:
+        out = _scratch("im2col_out", out_shape, x.dtype)
     np.copyto(
         out.reshape(n, oh, ow, c, kh, kw), cols.transpose(0, 4, 5, 1, 2, 3)
     )
@@ -128,12 +134,13 @@ def col2im(
 # activations and pooling (tensor ops)
 # --------------------------------------------------------------------- #
 def relu(x: Tensor) -> Tensor:
-    mask = x.data > 0
-    out_data = x.data * mask
+    # np.maximum needs no materialised boolean mask; the backward mask is
+    # only built if/when the tape actually runs.
+    out_data = np.maximum(x.data, 0.0)
 
     def bwd(grad: np.ndarray) -> None:
         if x.requires_grad:
-            x.accumulate_grad(grad * mask)
+            x.accumulate_grad(grad * (x.data > 0))
 
     return Tensor(out_data, parents=(x,), backward=bwd)
 
@@ -156,7 +163,10 @@ def maxpool2d(x: Tensor, kernel: int = 2) -> Tensor:
     def bwd(grad: np.ndarray) -> None:
         if not x.requires_grad:
             return
-        gflat = np.zeros_like(flat)
+        # Scratch-pool window buffer: consumed immediately by the reshape
+        # copy below, so reuse across batches is safe.
+        gflat = _scratch("maxpool_bwd", flat.shape, flat.dtype)
+        gflat.fill(0.0)
         np.put_along_axis(gflat, arg[..., None], grad[..., None], axis=-1)
         gx = (
             gflat.reshape(n, c, oh, ow, kernel, kernel)

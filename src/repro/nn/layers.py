@@ -20,7 +20,7 @@ from typing import Iterator
 import numpy as np
 
 from repro.nn import functional as F
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, is_grad_enabled
 
 __all__ = [
     "Parameter",
@@ -38,17 +38,29 @@ __all__ = [
 
 
 class Parameter:
-    """A trainable array with an accumulated gradient."""
+    """A trainable array with an accumulated gradient.
+
+    ``version`` counts in-place writes to ``data``.  Every framework-side
+    write (``SGD.step``, the engine's in-situ range clip) calls
+    :meth:`bump_version`; caches of values derived from the weights (the
+    crossbar engine's effective-weight cache) key on it.  Code outside the
+    framework that mutates ``data`` directly must bump it too.
+    """
 
     def __init__(self, data: np.ndarray):
         from repro.nn.tensor import get_default_dtype
 
         self.data = np.asarray(data, dtype=get_default_dtype())
         self.grad = np.zeros_like(self.data)
+        self.version = 0
 
     @property
     def shape(self) -> tuple[int, ...]:
         return self.data.shape
+
+    def bump_version(self) -> None:
+        """Mark the weight data as modified (invalidates derived caches)."""
+        self.version += 1
 
     def zero_grad(self) -> None:
         self.grad.fill(0.0)
@@ -152,6 +164,7 @@ class Conv2d(Module):
         return (self.out_channels, self.in_channels * k * k)
 
     def forward(self, x: Tensor) -> Tensor:
+        grad_on = is_grad_enabled()
         cols, oh, ow = F.im2col(
             x.data, self.kernel_size, self.kernel_size, self.stride, self.padding
         )
@@ -159,7 +172,9 @@ class Conv2d(Module):
         w2d = self.weight.data.reshape(self.out_channels, -1)
         if self.engine is not None:
             w_fwd = self.engine.forward_weight(self.layer_key, w2d)
-            w_bwd = self.engine.backward_weight(self.layer_key, w2d)
+            # The backward-copy read only feeds the input-gradient MVM;
+            # inference mode never runs it.
+            w_bwd = self.engine.backward_weight(self.layer_key, w2d) if grad_on else None
         else:
             w_fwd = w_bwd = w2d
         y = cols @ w_fwd.T
@@ -167,6 +182,8 @@ class Conv2d(Module):
             y = y + self.bias.data
         n = x.shape[0]
         out_data = y.reshape(n, oh, ow, self.out_channels).transpose(0, 3, 1, 2)
+        if not grad_on:
+            return Tensor(out_data)
         weight, bias = self.weight, self.bias
         x_shape = x.data.shape
         ks, st, pd = self.kernel_size, self.stride, self.padding
@@ -213,15 +230,18 @@ class Linear(Module):
     def forward(self, x: Tensor) -> Tensor:
         if x.ndim != 2:
             raise ValueError("Linear expects (N, features) input; Flatten first")
+        grad_on = is_grad_enabled()
         w2d = self.weight.data
         if self.engine is not None:
             w_fwd = self.engine.forward_weight(self.layer_key, w2d)
-            w_bwd = self.engine.backward_weight(self.layer_key, w2d)
+            w_bwd = self.engine.backward_weight(self.layer_key, w2d) if grad_on else None
         else:
             w_fwd = w_bwd = w2d
         out_data = x.data @ w_fwd.T
         if self.bias is not None:
             out_data = out_data + self.bias.data
+        if not grad_on:
+            return Tensor(out_data)
         weight, bias = self.weight, self.bias
         x_data = x.data
 

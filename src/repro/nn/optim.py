@@ -42,6 +42,7 @@ class SGD:
             v *= self.momentum
             v += g
             p.data -= self.lr * v
+            p.bump_version()
 
     def zero_grad(self) -> None:
         for p in self.parameters:

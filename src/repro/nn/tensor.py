@@ -13,7 +13,14 @@ from typing import Callable, Iterable
 
 import numpy as np
 
-__all__ = ["Tensor", "get_default_dtype", "set_default_dtype", "default_dtype"]
+__all__ = [
+    "Tensor",
+    "get_default_dtype",
+    "set_default_dtype",
+    "default_dtype",
+    "no_grad",
+    "is_grad_enabled",
+]
 
 #: float32 keeps NumPy training ~2x faster; tests that need numeric
 #: gradient checks switch to float64 via set_default_dtype.
@@ -50,6 +57,36 @@ def default_dtype(dtype):
         set_default_dtype(old)
 
 
+#: when False, new tensors record no parents/backward closures — forward
+#: passes build no graph (inference mode).  Toggled by :func:`no_grad`.
+_GRAD_ENABLED = True
+
+
+def is_grad_enabled() -> bool:
+    """Whether new tensors currently capture the autograd graph."""
+    return _GRAD_ENABLED
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Disable autograd-graph construction inside the block.
+
+    Tensors created under ``no_grad()`` are leaves: they store no parent
+    links and no backward closures, and ``requires_grad`` is forced off.
+    Layers additionally use :func:`is_grad_enabled` to skip backward-only
+    work (the backward-copy weight clamp, fresh im2col patch buffers), so
+    inference inside the block is both faster and allocation-free on the
+    hot shapes.
+    """
+    global _GRAD_ENABLED
+    old = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = old
+
+
 class Tensor:
     """An autograd node: value + gradient + backward closure."""
 
@@ -64,10 +101,15 @@ class Tensor:
         name: str = "",
     ):
         self.data = np.asarray(data, dtype=_DEFAULT_DTYPE)
-        self.requires_grad = requires_grad or any(p.requires_grad for p in parents)
         self.grad: np.ndarray | None = None
-        self._parents = parents
-        self._backward = backward
+        if _GRAD_ENABLED:
+            self.requires_grad = requires_grad or any(p.requires_grad for p in parents)
+            self._parents = parents
+            self._backward = backward
+        else:
+            self.requires_grad = False
+            self._parents = ()
+            self._backward = None
         self.name = name
 
     # ------------------------------------------------------------------ #

@@ -8,6 +8,7 @@ epoch, before the weights are updated for the next" schedule.
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -16,7 +17,7 @@ import numpy as np
 from repro.nn import functional as F
 from repro.nn.layers import Module
 from repro.nn.optim import SGD, cosine_lr
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, no_grad
 from repro.nn.data import SyntheticDataset
 from repro.utils.config import TrainConfig
 from repro.utils.logging import RunLogger
@@ -87,17 +88,28 @@ class Trainer:
         return float(np.mean(losses))
 
     def evaluate(self, x: np.ndarray | None = None, y: np.ndarray | None = None) -> float:
-        """Top-1 accuracy on the test split (or a supplied set)."""
+        """Top-1 accuracy on the test split (or a supplied set).
+
+        Runs in inference mode by default (``TrainConfig.eval_fastpath``):
+        no autograd graph, no backward-copy weight clamp, and the crossbar
+        engine serves its cached effective weights for every batch after
+        the first.  The produced logits are identical to the graph-building
+        path — asserted by ``tests/test_nn_eval_cache.py``.
+        """
         if x is None:
             x, y = self.dataset.x_test, self.dataset.y_test
         assert y is not None
         self.model.eval()
         batch = max(self.config.batch_size, 64)
         correct = 0
-        for start in range(0, len(y), batch):
-            xb = Tensor(x[start : start + batch])
-            logits = self.model(xb)
-            correct += int((logits.data.argmax(axis=1) == y[start : start + batch]).sum())
+        grad_ctx = no_grad() if self.config.eval_fastpath else contextlib.nullcontext()
+        with grad_ctx:
+            for start in range(0, len(y), batch):
+                xb = Tensor(x[start : start + batch])
+                logits = self.model(xb)
+                correct += int(
+                    (logits.data.argmax(axis=1) == y[start : start + batch]).sum()
+                )
         return correct / len(y)
 
     def num_batches(self) -> int:

@@ -19,6 +19,18 @@ parallelise perfectly.  ``run_experiments`` fans a list of cells across a
 The worker count resolves from the ``REPRO_BENCH_WORKERS`` environment
 variable (``"auto"`` = one worker per CPU) and defaults to serial
 execution, which runs inline without a pool.
+
+Shared dataset cache
+--------------------
+Cells of one sweep usually train on a handful of distinct datasets (the
+generation recipe ``(name, n_train, n_test, image_size, seed)`` repeats
+across policies/models), so ``run_experiments`` materialises every unique
+dataset **once in the parent** before the pool starts.  With the default
+``fork`` start method the workers inherit the cache copy-on-write (zero
+copies, zero extra memory); with ``spawn``/``forkserver`` the arrays are
+exported through ``multiprocessing.shared_memory`` segments that each
+worker attaches to in its initializer.  Serial runs share the same
+per-process cache (:mod:`repro.nn.data`).
 """
 
 from __future__ import annotations
@@ -32,6 +44,12 @@ from typing import Any, Callable, Iterable, Sequence
 
 import numpy as np
 
+from repro.nn.data import (
+    SyntheticDataset,
+    cached_dataset,
+    dataset_cache_key,
+    insert_cached_dataset,
+)
 from repro.utils.config import ExperimentConfig
 
 __all__ = [
@@ -104,6 +122,99 @@ def _limit_worker_threads() -> None:
         _THREADPOOL_LIMIT = threadpoolctl.threadpool_limits(1)
     except Exception:
         pass
+
+
+# --------------------------------------------------------------------- #
+# shared dataset cache plumbing
+# --------------------------------------------------------------------- #
+def _dataset_recipes(cells: Sequence[ExperimentCell]) -> list[tuple]:
+    """Unique dataset generation recipes across the cells, in cell order."""
+    seen: dict[tuple, None] = {}
+    for cell in cells:
+        tc = cell.config.train
+        seen.setdefault(
+            dataset_cache_key(
+                tc.dataset, tc.n_train, tc.n_test, tc.image_size, cell.config.seed
+            )
+        )
+    return list(seen)
+
+
+def _prefill_dataset_cache(cells: Sequence[ExperimentCell]) -> None:
+    """Materialise every unique dataset once (parent process / serial)."""
+    for name, n_train, n_test, image_size, seed in _dataset_recipes(cells):
+        cached_dataset(name, n_train, n_test, image_size, seed)
+
+
+def _export_datasets_shm(cells: Sequence[ExperimentCell]):
+    """Copy every unique dataset into shared-memory segments (spawn path).
+
+    Returns ``(specs, segments)``: picklable per-dataset specs for the
+    worker initializer, and the live segments the parent must close and
+    unlink once the pool is done.
+    """
+    from multiprocessing import shared_memory
+
+    specs: list[dict] = []
+    segments = []
+    for key in _dataset_recipes(cells):
+        ds = cached_dataset(*key)
+        arrays = {}
+        for field_name in ("x_train", "y_train", "x_test", "y_test"):
+            arr = getattr(ds, field_name)
+            shm = shared_memory.SharedMemory(create=True, size=arr.nbytes)
+            segments.append(shm)
+            view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+            view[...] = arr
+            arrays[field_name] = {
+                "shm": shm.name,
+                "shape": arr.shape,
+                "dtype": arr.dtype.str,
+            }
+        specs.append(
+            {"key": key, "name": ds.name, "num_classes": ds.num_classes,
+             "arrays": arrays}
+        )
+    return specs, segments
+
+
+#: segments attached by a worker — referenced so their buffers stay mapped
+#: for the lifetime of the worker process.
+_WORKER_SHM: list = []
+
+
+def _attach_datasets_shm(specs: list[dict]) -> None:
+    """Worker initializer body: adopt parent datasets from shared memory."""
+    from multiprocessing import shared_memory
+
+    for spec in specs:
+        fields = {}
+        for field_name, meta in spec["arrays"].items():
+            shm = shared_memory.SharedMemory(name=meta["shm"])
+            _WORKER_SHM.append(shm)
+            # The parent owns the segment lifecycle (close + unlink after
+            # the pool is torn down); stop this process's resource tracker
+            # from reporting it as leaked when the worker exits.
+            try:  # pragma: no cover - CPython implementation detail
+                from multiprocessing import resource_tracker
+
+                resource_tracker.unregister(shm._name, "shared_memory")
+            except Exception:
+                pass
+            fields[field_name] = np.ndarray(
+                meta["shape"], dtype=np.dtype(meta["dtype"]), buffer=shm.buf
+            )
+        insert_cached_dataset(
+            spec["key"],
+            SyntheticDataset(name=spec["name"], num_classes=spec["num_classes"],
+                             **fields),
+        )
+
+
+def _init_worker(shm_specs: list[dict] | None = None) -> None:
+    _limit_worker_threads()
+    if shm_specs:
+        _attach_datasets_shm(shm_specs)
 
 
 def _run_cell(indexed: tuple[int, ExperimentCell]) -> tuple[int, CellResult]:
@@ -189,6 +300,7 @@ def run_experiments(
 
     results: list[CellResult | None] = [None] * len(cell_list)
     if workers == 1:
+        # Inline: cells share the per-process dataset cache directly.
         for indexed in enumerate(cell_list):
             index, res = _run_cell(indexed)
             results[index] = res
@@ -198,14 +310,29 @@ def run_experiments(
         if start_method is None:
             available = mp.get_all_start_methods()
             start_method = "fork" if "fork" in available else "spawn"
+        # Generate each unique dataset once, before the pool exists.  Fork
+        # workers inherit the cache copy-on-write; spawn/forkserver workers
+        # attach to shared-memory exports in their initializer.
+        _prefill_dataset_cache(cell_list)
+        shm_specs: list[dict] | None = None
+        shm_segments: list = []
+        if start_method != "fork":
+            shm_specs, shm_segments = _export_datasets_shm(cell_list)
         ctx = mp.get_context(start_method)
-        with ctx.Pool(processes=workers, initializer=_limit_worker_threads) as pool:
-            for index, res in pool.imap_unordered(
-                _run_cell, list(enumerate(cell_list)), chunksize=1
-            ):
-                results[index] = res
-                if on_result is not None:
-                    on_result(res)
+        try:
+            with ctx.Pool(
+                processes=workers, initializer=_init_worker, initargs=(shm_specs,)
+            ) as pool:
+                for index, res in pool.imap_unordered(
+                    _run_cell, list(enumerate(cell_list)), chunksize=1
+                ):
+                    results[index] = res
+                    if on_result is not None:
+                        on_result(res)
+        finally:
+            for shm in shm_segments:
+                shm.close()
+                shm.unlink()
     assert all(r is not None for r in results)
     return results  # type: ignore[return-value]
 

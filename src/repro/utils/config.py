@@ -203,6 +203,11 @@ class TrainConfig:
     #: globally by the caller) so parallel runner workers configure their
     #: own process correctly.
     dtype: str = "float32"
+    #: enable the recomputation-elimination fast paths: the crossbar
+    #: engine's version-keyed effective-weight cache plus autograd-free
+    #: (no_grad) evaluation.  Results are bit-identical either way —
+    #: the switch exists for the equivalence tests and benchmarks.
+    eval_fastpath: bool = True
 
     def __post_init__(self) -> None:
         if self.epochs <= 0 or self.batch_size <= 0:

@@ -115,6 +115,42 @@ class TestRunExperiments:
         assert res.tags == {"row": "vgg11"}
 
 
+class TestSharedDatasetCache:
+    def test_prefill_generates_each_recipe_once(self):
+        from repro.nn.data import clear_dataset_cache, cached_dataset
+        from repro.runner.runner import _dataset_recipes, _prefill_dataset_cache
+
+        clear_dataset_cache()
+        cells = _normalise([
+            ExperimentCell("a", _tiny(seed=11)),
+            ExperimentCell("b", _tiny(seed=11)),   # same recipe as "a"
+            ExperimentCell("c", _tiny(seed=12)),
+        ])
+        assert len(_dataset_recipes(cells)) == 2
+        _prefill_dataset_cache(cells)
+        tc = cells[0].config.train
+        ds_a = cached_dataset(tc.dataset, tc.n_train, tc.n_test, tc.image_size, 11)
+        assert ds_a is cached_dataset(
+            tc.dataset, tc.n_train, tc.n_test, tc.image_size, 11
+        )
+
+    def test_spawn_shared_memory_matches_serial(self):
+        """The spawn path ships datasets via shared memory, same results."""
+        cells = [
+            ExperimentCell("a", _tiny(seed=11)),
+            ExperimentCell("b", _tiny(seed=12)),
+        ]
+        serial = run_experiments(cells, workers=1)
+        spawned = run_experiments(cells, workers=2, start_method="spawn")
+        for s, p in zip(serial, spawned):
+            assert s.ok and p.ok, (s.error, p.error)
+            assert s.final_accuracy == p.final_accuracy
+            assert (
+                s.result.train_result.accuracy_curve()
+                == p.result.train_result.accuracy_curve()
+            )
+
+
 class TestResultsByKey:
     def _res(self, key) -> CellResult:
         return CellResult(
