@@ -31,6 +31,7 @@ from repro.nn.layers import Linear, Sequential
 from repro.nn.tensor import Tensor, no_grad
 from repro.reram.chip import Chip
 from repro.runner import ExperimentCell, run_experiments
+from repro.telemetry import Telemetry
 from repro.utils.config import ChipConfig, CrossbarConfig
 
 from _common import SCALE, experiment, save_results
@@ -169,6 +170,52 @@ def bench_cache_hit() -> dict:
     }
 
 
+def bench_telemetry_overhead() -> dict:
+    """Cache-hit MVM cost with a telemetry sink attached vs detached.
+
+    The telemetry refactor must be overhead-neutral on the per-MVM fast
+    path: the engine keeps its counters as plain ints and only the cache
+    *miss* path consults the sink (behind the disabled-by-default
+    ``detail`` flag), so a cache-hit ``forward_weight`` executes the
+    identical instruction stream either way.  Samples interleave the two
+    configurations to cancel thermal/frequency drift; the CI gate asserts
+    < 3% regression.
+    """
+    model, engine, _ = _bound_eval_layer()
+    (layer,) = model.items
+    w2d = layer.weight.data
+    key = layer.layer_key
+    engine.forward_weight(key, w2d)  # prime the cache
+
+    def loop() -> None:
+        fw = engine.forward_weight
+        for _ in range(200):
+            fw(key, w2d)
+
+    loop()  # warm up
+    off_times: list[float] = []
+    on_times: list[float] = []
+    tel = Telemetry(echo=False)
+    for _ in range(REPS):
+        engine.telemetry = None
+        t0 = time.perf_counter()
+        loop()
+        off_times.append(time.perf_counter() - t0)
+        engine.telemetry = tel
+        t0 = time.perf_counter()
+        loop()
+        on_times.append(time.perf_counter() - t0)
+    off = statistics.median(off_times)
+    on = statistics.median(on_times)
+    assert not tel.events, "cache-hit path must not emit telemetry events"
+    return {
+        "calls_per_rep": 200,
+        "telemetry_off_us": off * 1e6,
+        "telemetry_on_us": on * 1e6,
+        "overhead_fraction": on / off - 1.0,
+    }
+
+
 def bench_cache_equivalence() -> dict:
     """Fig. 5-style smoke cell run with the fast paths on and off.
 
@@ -245,6 +292,7 @@ def run_hotpath() -> dict:
         },
         "eval_path": bench_eval_path(),
         "cache_hit": bench_cache_hit(),
+        "telemetry": bench_telemetry_overhead(),
         "cache_equivalence": bench_cache_equivalence(),
         "train_epoch": bench_train_epoch(),
         "runner": [bench_runner_fanout(workers=1)],
@@ -269,6 +317,10 @@ def run_hotpath() -> dict:
     ch = payload["cache_hit"]
     print(f"forward_weight cache: hit {ch['hit_us']:.1f}us vs miss "
           f"{ch['miss_us']:.0f}us ({ch['speedup']:.0f}x)")
+    tl = payload["telemetry"]
+    print(f"telemetry on cache-hit MVM: {tl['telemetry_on_us']:.0f}us vs "
+          f"{tl['telemetry_off_us']:.0f}us off "
+          f"({100 * tl['overhead_fraction']:+.2f}%)")
     print("fig5 smoke cell, fast paths on vs off: "
           + ("bit-identical" if payload["cache_equivalence"]["identical"]
              else "MISMATCH"))
@@ -294,6 +346,9 @@ def test_hotpath(benchmark):
     assert payload["eval_path"]["speedup"] >= 3.0, payload["eval_path"]
     # ... without changing a single bit of the training results.
     assert payload["cache_equivalence"]["identical"], payload["cache_equivalence"]
+    # Telemetry neutrality: a sink attached to the engine must cost the
+    # cache-hit MVM fast path < 3%.
+    assert payload["telemetry"]["overhead_fraction"] < 0.03, payload["telemetry"]
 
 
 if __name__ == "__main__":

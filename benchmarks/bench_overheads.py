@@ -31,6 +31,7 @@ from repro.core.overheads import (
 from repro.nn.tensor import Tensor
 from repro.noc.packet import flits_for_bits
 from repro.noc.topology import CMesh
+from repro.telemetry import Telemetry
 from repro.utils.config import ChipConfig, CrossbarConfig, FaultConfig
 from repro.utils.rng import derive_rng
 from repro.utils.tabulate import render_table
@@ -81,6 +82,8 @@ def run_overheads() -> OverheadReport:
         remap_t10_area_fraction=policy_area_overhead("remap-t", chip_cfg),
         remap_power_fraction=power_frac,
     )
+    tel = Telemetry(echo=False)
+    report.record(tel)
     print()
     print(render_table(
         ["overhead", "measured", "paper"],
@@ -96,6 +99,7 @@ def run_overheads() -> OverheadReport:
         "remap_t10_area": report.remap_t10_area_fraction,
         "remap_power": power_frac,
         "bist_cycles": BistTiming(CrossbarConfig()).total_cycles,
+        "telemetry_events": tel.snapshot()["events"],
     })
     return report
 

@@ -21,7 +21,9 @@ Package map:
 * ``repro.noc`` — cycle-level c-mesh NoC with XY-tree multicast;
 * ``repro.ecc`` — AN arithmetic codes (the ECC baseline);
 * ``repro.nn`` — NumPy autograd CNN framework + crossbar binding;
-* ``repro.area`` — NeuroSim-style area/power models.
+* ``repro.area`` — NeuroSim-style area/power models;
+* ``repro.telemetry`` — structured events, counters and timing spans
+  (every run emits into one sink; see "Telemetry & tracing" in the README).
 """
 
 from repro.utils.config import (
@@ -39,8 +41,9 @@ from repro.core.controller import (
 from repro.core.policies import POLICY_NAMES, make_policy
 from repro.nn.models import MODEL_NAMES
 from repro.nn.data import DATASET_NAMES
+from repro.telemetry import Telemetry
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ChipConfig",
@@ -55,5 +58,6 @@ __all__ = [
     "POLICY_NAMES",
     "MODEL_NAMES",
     "DATASET_NAMES",
+    "Telemetry",
     "__version__",
 ]

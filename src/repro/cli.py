@@ -9,6 +9,11 @@ Examples::
 
 Every command prints plain-text tables (and, where helpful, ASCII bars)
 so the tool is usable over ssh on the machine actually running the sims.
+
+Experiment commands run against a :class:`repro.telemetry.Telemetry`
+sink: live events echo to stderr (suppressed by ``--quiet``), the final
+tables render from the aggregated summary, and ``--trace out.jsonl``
+writes the full structured event trace.
 """
 
 from __future__ import annotations
@@ -20,6 +25,7 @@ from repro.core.controller import run_experiment
 from repro.core.policies import POLICY_NAMES
 from repro.nn.data import DATASET_NAMES
 from repro.nn.models import MODEL_NAMES
+from repro.telemetry import Telemetry
 from repro.utils.charts import render_bars
 from repro.utils.config import (
     ChipConfig,
@@ -52,6 +58,10 @@ def _experiment_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--post-n", type=float, default=0.01,
                         help="fraction of crossbars hit per epoch")
     parser.add_argument("--remap-threshold", type=float, default=0.001)
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress live telemetry echo and ASCII bars")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="write the structured event trace as JSONL")
 
 
 def _config_from(args: argparse.Namespace, policy: str,
@@ -83,40 +93,82 @@ def _config_from(args: argparse.Namespace, policy: str,
     )
 
 
+def _make_telemetry(args: argparse.Namespace) -> Telemetry:
+    """One sink per CLI invocation: echo unless quiet, stderr only."""
+    return Telemetry(echo=not args.quiet, stream=sys.stderr)
+
+
+def _finish_trace(tel: Telemetry, args: argparse.Namespace) -> None:
+    if args.trace:
+        tel.dump_jsonl(args.trace)
+        if not args.quiet:
+            print(f"trace: {len(tel.events)} events -> {args.trace}",
+                  file=sys.stderr)
+
+
+def _telemetry_rows(summary: dict) -> list[list]:
+    """Counter + span-total rows rendered from an aggregated summary."""
+    rows: list[list] = []
+    for name, value in sorted(summary.get("counters", {}).items()):
+        rows.append([name, value, ""])
+    for name, agg in sorted(summary.get("spans", {}).items()):
+        rows.append(
+            [f"span:{name}", agg["count"], f"{agg['seconds']:.2f}s total"]
+        )
+    return rows
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     config = _config_from(args, args.policy, args.policy_param)
-    result = run_experiment(config)
+    tel = _make_telemetry(args)
+    result = run_experiment(config, telemetry=tel)
     print(render_table(
         ["model", "dataset", "policy", "final acc", "remaps", "chip density"],
         [result.summary_row()],
         title="experiment result",
         ndigits=4,
     ))
-    curve = result.train_result.accuracy_curve()
     print()
-    print(render_bars(
-        [f"epoch {i}" for i in range(len(curve))], curve,
-        title="test accuracy per epoch", vmax=1.0,
+    print(render_table(
+        ["counter / span", "value", "detail"],
+        _telemetry_rows(result.telemetry),
+        title="run telemetry",
     ))
+    if not args.quiet:
+        curve = result.train_result.accuracy_curve()
+        print()
+        print(render_bars(
+            [f"epoch {i}" for i in range(len(curve))], curve,
+            title="test accuracy per epoch", vmax=1.0,
+        ))
+    _finish_trace(tel, args)
     return 0
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
+    tel = _make_telemetry(args)
     rows = []
     accs = []
     for policy in args.policies:
-        result = run_experiment(_config_from(args, policy))
+        # Per-policy child sink (its result summary covers that run
+        # alone), merged into the invocation sink tagged by policy.
+        run_tel = Telemetry(echo=False)
+        result = run_experiment(_config_from(args, policy), telemetry=run_tel)
+        tel.merge(run_tel, tag=policy)
+        tel.event("policy_done", policy=policy,
+                  final_accuracy=result.final_accuracy,
+                  num_remaps=result.num_remaps)
         rows.append([policy, result.final_accuracy, result.num_remaps])
         accs.append(result.final_accuracy)
-        print(f"done: {policy:<10} acc={result.final_accuracy:.3f}",
-              file=sys.stderr)
     print(render_table(
         ["policy", "final accuracy", "remaps"], rows,
         title=f"policy comparison ({args.model}, {args.dataset})",
         ndigits=3,
     ))
-    print()
-    print(render_bars(args.policies, accs, vmax=1.0))
+    if not args.quiet:
+        print()
+        print(render_bars(args.policies, accs, vmax=1.0))
+    _finish_trace(tel, args)
     return 0
 
 

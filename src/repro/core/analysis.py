@@ -13,6 +13,7 @@ from dataclasses import dataclass, field, replace
 from typing import Iterable
 
 from repro.core.controller import ExperimentResult, run_experiment
+from repro.telemetry import Telemetry, null_telemetry
 from repro.utils.config import ExperimentConfig
 
 __all__ = ["SweepResult", "run_sweep", "accuracy_loss_table", "seed_average"]
@@ -48,14 +49,34 @@ class SweepResult:
 def run_sweep(
     configs: Iterable[tuple[str, ExperimentConfig]],
     progress: bool = False,
+    telemetry: Telemetry | None = None,
 ) -> SweepResult:
-    """Run a labelled collection of experiments sequentially."""
+    """Run a labelled collection of experiments sequentially.
+
+    Library-friendly output: nothing is ever written to stdout.  Each
+    finished run emits a ``sweep_cell_done`` event into ``telemetry``;
+    ``progress=True`` without an explicit sink creates one that echoes
+    those events to stderr.
+    """
+    tel = telemetry
+    if tel is None:
+        tel = Telemetry(echo=True) if progress else null_telemetry()
     sweep = SweepResult()
     for label, config in configs:
-        result = run_experiment(config)
+        # Each run gets its own sink (so its result summary covers that
+        # run alone), merged into the sweep sink tagged by label.
+        cell_tel = Telemetry(echo=False) if tel.enabled else None
+        result = run_experiment(config, telemetry=cell_tel)
+        if cell_tel is not None:
+            tel.merge(cell_tel, tag=label)
         sweep.add(label, result)
-        if progress:
-            print(f"[sweep] {label:<30} acc={result.final_accuracy:.3f}")
+        tel.event(
+            "sweep_cell_done",
+            label=label,
+            policy=result.policy,
+            final_accuracy=result.final_accuracy,
+            num_remaps=result.num_remaps,
+        )
     return sweep
 
 

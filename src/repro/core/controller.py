@@ -34,6 +34,7 @@ from repro.nn.tensor import set_default_dtype
 from repro.nn.trainer import Trainer, TrainResult
 from repro.reram.chip import Chip
 from repro.reram.mapping import blocks_needed
+from repro.telemetry import Telemetry
 from repro.utils.config import ChipConfig, ExperimentConfig
 from repro.utils.logging import RunLogger
 from repro.utils.rng import RngHub
@@ -66,6 +67,8 @@ class ExperimentContext:
     pair_density_est: np.ndarray = field(default_factory=lambda: np.zeros(0))
     remap_plans: list[tuple[int, RemapPlan]] = field(default_factory=list)
     bist_scans: int = 0
+    #: per-run telemetry sink (policies and helpers emit through this).
+    telemetry: Telemetry = field(default_factory=lambda: Telemetry(echo=False))
 
 
 @dataclass
@@ -82,6 +85,9 @@ class ExperimentResult:
     mean_chip_density: float
     max_pair_density: float
     wall_seconds: float
+    #: aggregated telemetry summary (``Telemetry.summary()``): counters,
+    #: span totals and per-kind event counts for the whole run.
+    telemetry: dict = field(default_factory=dict)
 
     def summary_row(self) -> list:
         return [
@@ -155,13 +161,23 @@ def inject_phase_faults(
                 total += fmap.inject(cells[is_sa0], FaultType.SA0)
                 total += fmap.inject(cells[~is_sa0], FaultType.SA1)
     ctx.chip.bump_fault_version()
+    ctx.telemetry.event("fault_injected", phase=phase, source="phase", cells=total)
+    ctx.telemetry.count("faults.phase_cells", total)
     return total
 
 
 def build_experiment(
-    config: ExperimentConfig, logger: RunLogger | None = None
+    config: ExperimentConfig,
+    logger: RunLogger | None = None,
+    telemetry: Telemetry | None = None,
 ) -> ExperimentContext:
-    """Construct the full experiment stack (no training yet)."""
+    """Construct the full experiment stack (no training yet).
+
+    ``telemetry`` is the run's instrumentation sink; when omitted a fresh
+    silent sink is created so :class:`ExperimentContext.telemetry` always
+    exists (and :class:`ExperimentResult` always carries a summary).
+    """
+    tel = telemetry if telemetry is not None else Telemetry(echo=False)
     hub = RngHub(config.seed)
     tc = config.train
     # The compute dtype travels with the config so runner workers (which
@@ -186,9 +202,11 @@ def build_experiment(
         config.policy, config.policy_param, config.remap_threshold,
         **config.policy_kwargs,
     )
-    trainer = Trainer(model, dataset, tc, hub.stream("train"), logger)
+    trainer = Trainer(model, dataset, tc, hub.stream("train"), logger,
+                      telemetry=tel)
     if config.variation is not None:
         engine.set_variation(config.variation, hub.stream("variation"))
+    engine.telemetry = tel
     ctx = ExperimentContext(
         config=config,
         rng_hub=hub,
@@ -200,11 +218,16 @@ def build_experiment(
         policy=policy,
         trainer=trainer,
         pair_density_est=np.zeros(chip.num_pairs),
+        telemetry=tel,
     )
     faults_active = not policy.disable_faults
     if faults_active and config.faults.pre_enabled:
         injector.inject_pre_deployment(chip.fault_maps)
         chip.bump_fault_version()
+        pre_cells = sum(n for ep, _, n in injector.history if ep == -1)
+        tel.event("fault_injected", phase="pre", source="manufacturing",
+                  cells=pre_cells)
+        tel.count("faults.pre_cells", pre_cells)
     if faults_active and config.faults.phase_target is not None:
         inject_phase_faults(
             ctx, config.faults.phase_target, config.faults.phase_density
@@ -214,11 +237,22 @@ def build_experiment(
 
 
 def run_experiment(
-    config: ExperimentConfig, logger: RunLogger | None = None
+    config: ExperimentConfig,
+    logger: RunLogger | None = None,
+    telemetry: Telemetry | None = None,
 ) -> ExperimentResult:
-    """Build and run one experiment end to end."""
+    """Build and run one experiment end to end.
+
+    Every run emits structured telemetry (``fault_injected``,
+    ``bist_scan``, ``remap_planned``, ``epoch_done`` events plus spans and
+    counters) into ``telemetry`` — or an internal sink when omitted — and
+    the returned :class:`ExperimentResult` carries its aggregated summary.
+    """
     t0 = time.perf_counter()
-    ctx = build_experiment(config, logger)
+    tel = telemetry if telemetry is not None else Telemetry(echo=False)
+    with tel.span("build_experiment", model=config.train.model,
+                  policy=config.policy):
+        ctx = build_experiment(config, logger, telemetry=tel)
     policy = ctx.policy
     chip = ctx.chip
     faults_active = not policy.disable_faults
@@ -229,16 +263,38 @@ def run_experiment(
         # batch — that wear drives where endurance faults strike next.
         chip.record_update_writes(trainer.num_batches())
         if faults_active and ctx.config.faults.post_enabled:
-            ctx.injector.inject_post_epoch(chip.fault_maps, chip.wear, epoch)
+            hit = ctx.injector.inject_post_epoch(chip.fault_maps, chip.wear, epoch)
             chip.bump_fault_version()
+            cells = sum(n for ep, _, n in ctx.injector.history if ep == epoch)
+            tel.event("fault_injected", phase="post", source="endurance",
+                      epoch=epoch, crossbars=len(hit), cells=cells)
+            tel.count("faults.post_cells", cells)
         if policy.uses_bist:
-            densities = scan_chip(chip, bist_rng)
-            ctx.pair_density_est = pair_density_estimates(chip, densities)
+            with tel.span("bist_scan", epoch=epoch):
+                densities = scan_chip(chip, bist_rng)
+                ctx.pair_density_est = pair_density_estimates(chip, densities)
             ctx.bist_scans += 1
+            tel.event("bist_scan", epoch=epoch,
+                      mean_density_est=float(ctx.pair_density_est.mean()),
+                      max_density_est=float(ctx.pair_density_est.max()))
+            tel.count("bist_scans")
         policy.on_epoch_end(ctx, epoch)
 
-    train_result = ctx.trainer.fit(on_epoch_end=on_epoch_end)
+    with tel.span("train", model=config.train.model, policy=config.policy):
+        train_result = ctx.trainer.fit(on_epoch_end=on_epoch_end)
     pair_densities = chip.true_pair_densities()
+    for name, value in ctx.engine.cache_stats().items():
+        tel.count(f"engine.cache_{name}", value)
+    num_remaps = sum(plan.num_remaps for _, plan in ctx.remap_plans)
+    tel.event(
+        "experiment_done",
+        policy=policy.name,
+        model=config.train.model,
+        final_accuracy=train_result.final_accuracy,
+        num_remaps=num_remaps,
+        mean_chip_density=float(pair_densities.mean()),
+        wall_seconds=round(time.perf_counter() - t0, 3),
+    )
     return ExperimentResult(
         policy=policy.name,
         model=config.train.model,
@@ -246,8 +302,9 @@ def run_experiment(
         train_result=train_result,
         final_accuracy=train_result.final_accuracy,
         best_accuracy=train_result.best_accuracy,
-        num_remaps=sum(plan.num_remaps for _, plan in ctx.remap_plans),
+        num_remaps=num_remaps,
         mean_chip_density=float(pair_densities.mean()),
         max_pair_density=float(pair_densities.max()),
         wall_seconds=time.perf_counter() - t0,
+        telemetry=tel.summary(),
     )

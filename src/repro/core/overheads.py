@@ -22,8 +22,10 @@ from repro.core.remap_protocol import RemapPlan
 from repro.nn.fault_aware import CrossbarEngine
 from repro.nn.layers import Conv2d, Linear, Module
 from repro.noc.simulator import NoCSimulator
+from repro.noc.stats import link_loads_for_packets
 from repro.noc.topology import CMesh
 from repro.noc.traffic import TrainingTrafficModel, remap_phase_packets
+from repro.telemetry import Telemetry
 from repro.utils.config import ChipConfig
 
 __all__ = [
@@ -118,6 +120,7 @@ def remap_noc_overhead(
     noc_cycle_ns: float = 0.8333,
     weight_bits: int = WEIGHT_BITS_PER_PAIR,
     crossbar_rows: int = 128,
+    telemetry: Telemetry | None = None,
 ) -> tuple[float, dict[str, int]]:
     """Simulate one epoch's remap phase and return its time overhead.
 
@@ -126,6 +129,10 @@ def remap_noc_overhead(
     where paths do not overlap).  The weight exchange additionally pays
     the row-by-row reprogramming of both crossbar pairs, overlapped
     across pairs.  Returns ``(overhead_fraction, phase_cycles)``.
+
+    When ``telemetry`` is given, each simulated phase additionally records
+    its per-link load accounting (``link_stats`` events) and the final
+    ``remap_overhead`` event into the sink.
     """
     phase_cycles: dict[str, int] = {"request": 0, "response": 0, "transfer": 0}
     if plan_senders:
@@ -144,10 +151,22 @@ def remap_noc_overhead(
                 sim.schedule(p)
             stats = sim.run()
             phase_cycles[label] = stats.cycles
+            if telemetry is not None and telemetry.enabled:
+                link_loads_for_packets(cmesh, packets, stats.cycles).record(
+                    telemetry, phase=label, packets=len(packets)
+                )
     noc_ns = sum(phase_cycles.values()) * noc_cycle_ns
     reprogram_ns = (2 * crossbar_rows * reram_cycle_ns) if plan_matches else 0.0
     epoch_ns = traffic.epoch_cycles * reram_cycle_ns
-    return (noc_ns + reprogram_ns) / epoch_ns, phase_cycles
+    fraction = (noc_ns + reprogram_ns) / epoch_ns
+    if telemetry is not None:
+        telemetry.event(
+            "remap_overhead",
+            senders=len(plan_senders),
+            overhead_fraction=fraction,
+            **{f"{k}_cycles": v for k, v in phase_cycles.items()},
+        )
+    return fraction, phase_cycles
 
 
 def monte_carlo_remap_overhead(
@@ -200,6 +219,19 @@ class OverheadReport:
     an_code_area_fraction: float
     remap_t10_area_fraction: float
     remap_power_fraction: float
+
+    def record(self, telemetry: Telemetry) -> None:
+        """Publish the collected overheads as one ``overheads`` event."""
+        telemetry.event(
+            "overheads",
+            bist_timing_fraction=self.bist_timing_fraction,
+            remap_traffic_mean=self.remap_traffic_mean,
+            remap_traffic_worst=self.remap_traffic_worst,
+            bist_area_fraction=self.bist_area_fraction,
+            an_code_area_fraction=self.an_code_area_fraction,
+            remap_t10_area_fraction=self.remap_t10_area_fraction,
+            remap_power_fraction=self.remap_power_fraction,
+        )
 
     def rows(self) -> list[list]:
         return [

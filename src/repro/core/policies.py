@@ -277,12 +277,21 @@ class RemapDPolicy(Policy):
 
     def _remap_pass(self, ctx, epoch: int) -> None:
         assert self.protocol is not None, "setup() not called"
-        tasks = enumerate_tasks(ctx.engine.all_mappings())
-        plan = self.protocol.plan(
-            tasks, ctx.pair_density_est, idle_pairs=ctx.chip.idle_pair_ids()
-        )
-        self.protocol.execute(plan)
+        with ctx.telemetry.span("remap_pass", epoch=epoch):
+            tasks = enumerate_tasks(ctx.engine.all_mappings())
+            plan = self.protocol.plan(
+                tasks, ctx.pair_density_est, idle_pairs=ctx.chip.idle_pair_ids()
+            )
+            self.protocol.execute(plan)
         ctx.remap_plans.append((epoch, plan))
+        ctx.telemetry.event(
+            "remap_planned",
+            epoch=epoch,
+            num_remaps=plan.num_remaps,
+            senders=len(plan.sender_tiles),
+        )
+        ctx.telemetry.count("remaps", plan.num_remaps)
+        ctx.telemetry.count("remap_passes")
 
     def on_epoch_end(self, ctx, epoch: int) -> None:
         self._remap_pass(ctx, epoch)

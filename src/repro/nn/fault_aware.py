@@ -80,8 +80,16 @@ class CrossbarEngine:
         #: engine-owned result buffers, (key, path, dtype) -> array.
         self._eff_buffers: dict[tuple[str, str, str], np.ndarray] = {}
         #: cache statistics (tests and the hotpath bench read these).
+        #: Kept as plain ints — the per-MVM fast path must stay free of
+        #: telemetry calls; ``cache_stats()`` publishes them into the
+        #: run's sink once, at reporting time.
         self.cache_hits = 0
         self.cache_misses = 0
+        self.recomputes = 0
+        #: optional run telemetry.  Only the (already expensive) cache
+        #: miss path consults it, and only when ``telemetry.detail`` is
+        #: set — per-MVM instrumentation is disabled by default.
+        self.telemetry = None
 
     # ------------------------------------------------------------------ #
     # binding
@@ -175,6 +183,10 @@ class CrossbarEngine:
         ``shared_buffer`` is True when the result aliases the mapping's
         reusable clamp buffer (and must be copied before long-term use).
         """
+        self.recomputes += 1
+        tel = self.telemetry
+        if tel is not None and tel.detail:
+            tel.event("weight_recompute", key=key, path=path)
         fwd, bwd = self.copies[key]
         if path == "fwd":
             mapping, stored = fwd, w2d.T
@@ -312,8 +324,12 @@ class CrossbarEngine:
         self._eff_cache.clear()
 
     def cache_stats(self) -> dict[str, int]:
-        """Hit/miss counters of the effective-weight cache."""
-        return {"hits": self.cache_hits, "misses": self.cache_misses}
+        """Hit/miss/recompute counters of the effective-weight cache."""
+        return {
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "recomputes": self.recomputes,
+        }
 
     # ------------------------------------------------------------------ #
     # introspection for the controller / policies

@@ -19,6 +19,7 @@ from repro.nn.layers import Module
 from repro.nn.optim import SGD, cosine_lr
 from repro.nn.tensor import Tensor, no_grad
 from repro.nn.data import SyntheticDataset
+from repro.telemetry import Telemetry, null_telemetry
 from repro.utils.config import TrainConfig
 from repro.utils.logging import RunLogger
 
@@ -47,12 +48,14 @@ class Trainer:
         config: TrainConfig,
         rng: np.random.Generator | None = None,
         logger: RunLogger | None = None,
+        telemetry: Telemetry | None = None,
     ):
         self.model = model
         self.dataset = dataset
         self.config = config
         self.rng = rng or np.random.default_rng(config.seed)
         self.logger = logger
+        self.telemetry = telemetry if telemetry is not None else null_telemetry()
         #: called after every optimiser step (the crossbar engine hooks
         #: its in-situ range clipping here).
         self.post_step = None
@@ -120,16 +123,26 @@ class Trainer:
         self,
         on_epoch_end: Callable[[int, "Trainer"], None] | None = None,
     ) -> TrainResult:
-        """Full training run with the per-epoch controller hook."""
+        """Full training run with the per-epoch controller hook.
+
+        Each epoch's training pass and evaluation run inside telemetry
+        spans, and an ``epoch_done`` event carries the per-epoch record;
+        per-batch work stays uninstrumented (hot path).
+        """
         result = TrainResult()
+        tel = self.telemetry
         for epoch in range(self.config.epochs):
-            loss = self.train_epoch(epoch)
+            with tel.span("train_epoch", epoch=epoch):
+                loss = self.train_epoch(epoch)
             if on_epoch_end is not None:
                 on_epoch_end(epoch, self)
-            acc = self.evaluate()
+            with tel.span("evaluate", epoch=epoch):
+                acc = self.evaluate()
             result.history.append(
                 {"epoch": epoch, "loss": loss, "test_acc": acc, "lr": self.optimizer.lr}
             )
+            tel.event("epoch_done", epoch=epoch, loss=loss, test_acc=acc,
+                      lr=self.optimizer.lr)
             if self.logger is not None:
                 self.logger.event("epoch", epoch=epoch, loss=loss, test_acc=acc)
         if result.history:

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 from repro.noc.packet import Packet
 from repro.noc.topology import Mesh
+from repro.telemetry import Telemetry
 
 __all__ = ["LinkStats", "link_loads_for_packets"]
 
@@ -26,9 +27,10 @@ class LinkStats:
     cycles: int
 
     @property
-    def busiest_link(self) -> tuple[tuple[int, int], int]:
+    def busiest_link(self) -> tuple[tuple[int, int], int] | None:
+        """``(link, flits)`` of the most loaded link, ``None`` if no load."""
         if not self.loads:
-            return ((0, 0), 0)
+            return None
         link = max(self.loads, key=lambda k: self.loads[k])
         return link, self.loads[link]
 
@@ -43,8 +45,34 @@ class LinkStats:
         return self.loads.get(link, 0) / self.cycles
 
     def peak_utilisation(self) -> float:
-        _, flits = self.busiest_link
-        return flits / self.cycles if self.cycles else 0.0
+        busiest = self.busiest_link
+        if busiest is None or not self.cycles:
+            return 0.0
+        return busiest[1] / self.cycles
+
+    def record(self, telemetry: Telemetry, phase: str = "noc",
+               **payload) -> None:
+        """Publish this accounting into a telemetry sink.
+
+        Emits one ``link_stats`` event with the summary metrics and bumps
+        the ``noc.flit_hops`` / ``noc.cycles`` counters (prefixed by
+        ``phase`` in the event so multi-phase protocols stay separable).
+        """
+        busiest = self.busiest_link
+        telemetry.event(
+            "link_stats",
+            phase=phase,
+            links=len(self.loads),
+            cycles=self.cycles,
+            total_flit_hops=self.total_flit_hops,
+            busiest_link=list(busiest[0]) if busiest else None,
+            busiest_flits=busiest[1] if busiest else 0,
+            peak_utilisation=self.peak_utilisation(),
+            parallelism=self.parallelism(),
+            **payload,
+        )
+        telemetry.count("noc.flit_hops", self.total_flit_hops)
+        telemetry.count("noc.cycles", self.cycles)
 
     def parallelism(self) -> float:
         """Average concurrently-busy links per cycle (>1 = parallel).

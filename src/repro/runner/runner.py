@@ -50,6 +50,7 @@ from repro.nn.data import (
     dataset_cache_key,
     insert_cached_dataset,
 )
+from repro.telemetry import Telemetry
 from repro.utils.config import ExperimentConfig
 
 __all__ = [
@@ -87,6 +88,10 @@ class CellResult:
     wall_seconds: float
     worker_pid: int
     tags: dict[str, Any] = field(default_factory=dict)
+    #: telemetry snapshot of the cell's run (``Telemetry.snapshot()``):
+    #: plain dicts, so it pickles across fork *and* spawn pools.  The
+    #: parent merges these into its own sink (see ``run_experiments``).
+    telemetry: dict[str, Any] | None = None
 
     @property
     def final_accuracy(self) -> float:
@@ -226,10 +231,11 @@ def _run_cell(indexed: tuple[int, ExperimentCell]) -> tuple[int, CellResult]:
     # stray np.random user is made deterministic per cell rather than
     # inheriting whatever state the worker accumulated.
     np.random.seed((int(cell.config.seed) * 2654435761 + index) % (2**32))
+    tel = Telemetry(echo=False)
     try:
         from repro.core.controller import run_experiment
 
-        result = run_experiment(cell.config)
+        result = run_experiment(cell.config, telemetry=tel)
         ok, error = True, None
     except Exception:
         result, ok, error = None, False, traceback.format_exc()
@@ -241,6 +247,7 @@ def _run_cell(indexed: tuple[int, ExperimentCell]) -> tuple[int, CellResult]:
         wall_seconds=time.perf_counter() - t0,
         worker_pid=os.getpid(),
         tags=dict(cell.tags),
+        telemetry=tel.snapshot(),
     )
 
 
@@ -268,6 +275,7 @@ def run_experiments(
     *,
     start_method: str | None = None,
     on_result: Callable[[CellResult], None] | None = None,
+    telemetry: Telemetry | None = None,
 ) -> list[CellResult]:
     """Run independent experiment cells, optionally across processes.
 
@@ -286,6 +294,12 @@ def run_experiments(
     on_result:
         Optional progress callback, invoked in the parent as each cell
         finishes (completion order, not submission order).
+    telemetry:
+        Optional parent sink.  Every cell runs against its own sink (in
+        the worker process for pool runs); the snapshots ride back on
+        :attr:`CellResult.telemetry` and are merged here in *submission*
+        order, tagged with the cell key — so the aggregate is identical
+        for serial, fork and spawn execution.
 
     Returns
     -------
@@ -334,6 +348,11 @@ def run_experiments(
                 shm.close()
                 shm.unlink()
     assert all(r is not None for r in results)
+    if telemetry is not None:
+        # Merge in submission order (not completion order) so the parent
+        # aggregate is deterministic across worker counts/start methods.
+        for res in results:
+            telemetry.merge(res.telemetry, tag=res.key)
     return results  # type: ignore[return-value]
 
 

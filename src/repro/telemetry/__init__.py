@@ -1,0 +1,202 @@
+"""Unified telemetry: structured events, counters and timing spans.
+
+Every reporting surface of the simulator — the experiment controller, the
+trainer's epoch loop, the crossbar engine's effective-weight cache, the
+NoC link accounting, the overhead study, the parallel runner and the CLI —
+emits into one :class:`Telemetry` sink instead of hand-rolled dicts and
+``print`` calls.  The sink is deliberately tiny and zero-dependency:
+
+* **events** — append-only records ``{"ts": <monotonic s>, "kind": str,
+  "payload": dict}``; serialise to JSONL with :meth:`Telemetry.dump_jsonl`;
+* **counters** — named integers bumped with :meth:`Telemetry.count`
+  (plain ``dict`` adds, cheap enough for per-epoch accounting);
+* **spans** — ``with telemetry.span("train_epoch", epoch=3):`` times a
+  region, aggregates per-name ``{count, seconds}`` and appends a ``span``
+  event on exit.
+
+Hot-path discipline
+-------------------
+The per-MVM fast path (``CrossbarEngine.forward_weight`` cache hits) emits
+*nothing*: the engine keeps its hit/miss/recompute statistics as plain
+``int`` attributes and publishes them into the sink once per run.  Per-
+recompute events exist behind the opt-in :attr:`Telemetry.detail` flag and
+fire only on the (already expensive) cache-miss path.  The
+``bench_hotpath`` telemetry gate asserts the cache-hit MVM cost moves
+< 3% with a sink attached.
+
+Cross-process merge
+-------------------
+Worker processes (``repro.runner``) cannot share a sink; each builds its
+own, serialises it with :meth:`Telemetry.snapshot` (plain dicts — pickles
+under ``fork`` *and* ``spawn``) and the parent folds the snapshots back in
+with :meth:`Telemetry.merge`.  Counters and span aggregates add; events
+concatenate, optionally tagged with the originating cell.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from contextlib import contextmanager
+from typing import Any, IO, Iterator
+
+__all__ = ["Telemetry", "null_telemetry", "NULL_TELEMETRY"]
+
+
+class Telemetry:
+    """Per-run sink for events, counters and timing spans.
+
+    >>> tel = Telemetry(echo=False)
+    >>> tel.count("remaps", 3)
+    >>> tel.event("bist_scan", epoch=0)
+    >>> tel.events[0]["kind"], tel.events[0]["payload"]
+    ('bist_scan', {'epoch': 0})
+    >>> with tel.span("train_epoch", epoch=0):
+    ...     pass
+    >>> tel.spans["train_epoch"]["count"]
+    1
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        echo: bool = False,
+        stream: IO[str] | None = None,
+    ):
+        self.enabled = enabled
+        self.echo = echo
+        self.stream = stream if stream is not None else sys.stderr
+        #: opt-in per-MVM instrumentation (recompute events on the cache
+        #: miss path); keep False on hot-path runs.
+        self.detail = False
+        self.events: list[dict[str, Any]] = []
+        self.counters: dict[str, int] = {}
+        #: span name -> {"count": int, "seconds": float}.
+        self.spans: dict[str, dict[str, float]] = {}
+        self._t0 = time.perf_counter()
+
+    # ------------------------------------------------------------------ #
+    # emission
+    # ------------------------------------------------------------------ #
+    def event(self, kind: str, **payload: Any) -> None:
+        """Append one timestamped record; echo a readable line if enabled."""
+        if not self.enabled:
+            return
+        record = {
+            "ts": round(time.perf_counter() - self._t0, 6),
+            "kind": kind,
+            "payload": payload,
+        }
+        self.events.append(record)
+        if self.echo:
+            body = " ".join(f"{k}={_fmt(v)}" for k, v in payload.items())
+            print(f"[{record['ts']:9.3f}s] {kind:<14} {body}", file=self.stream)
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Bump a named counter (a plain dict add)."""
+        if not self.enabled:
+            return
+        self.counters[name] = self.counters.get(name, 0) + int(n)
+
+    @contextmanager
+    def span(self, name: str, **payload: Any) -> Iterator[None]:
+        """Time a region; aggregates per-name and appends a ``span`` event."""
+        if not self.enabled:
+            yield
+            return
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            seconds = time.perf_counter() - t0
+            agg = self.spans.setdefault(name, {"count": 0, "seconds": 0.0})
+            agg["count"] += 1
+            agg["seconds"] += seconds
+            self.event("span", name=name, seconds=round(seconds, 6), **payload)
+
+    # ------------------------------------------------------------------ #
+    # inspection and serialisation
+    # ------------------------------------------------------------------ #
+    def filter(self, kind: str) -> list[dict[str, Any]]:
+        """All events of one kind, in emission order."""
+        return [e for e in self.events if e["kind"] == kind]
+
+    def summary(self) -> dict[str, Any]:
+        """Aggregate view: counters, span totals and per-kind event counts."""
+        by_kind: dict[str, int] = {}
+        for e in self.events:
+            by_kind[e["kind"]] = by_kind.get(e["kind"], 0) + 1
+        return {
+            "counters": dict(self.counters),
+            "spans": {k: dict(v) for k, v in self.spans.items()},
+            "events_by_kind": by_kind,
+            "num_events": len(self.events),
+        }
+
+    def write_jsonl(self, fh: IO[str]) -> None:
+        for record in self.events:
+            fh.write(json.dumps(record, default=_json_default) + "\n")
+
+    def dump_jsonl(self, path: str) -> None:
+        """Write every event as one JSON object per line."""
+        with open(path, "w", encoding="utf-8") as fh:
+            self.write_jsonl(fh)
+
+    # ------------------------------------------------------------------ #
+    # cross-process merge
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> dict[str, Any]:
+        """Picklable copy of the full sink state (plain dicts/lists)."""
+        return {
+            "events": [dict(e) for e in self.events],
+            "counters": dict(self.counters),
+            "spans": {k: dict(v) for k, v in self.spans.items()},
+        }
+
+    def merge(
+        self, other: "Telemetry | dict[str, Any] | None", tag: Any = None
+    ) -> None:
+        """Fold another sink (or its snapshot) into this one.
+
+        Counters and span aggregates add; events append in the other
+        sink's order, each stamped with ``"cell": tag`` when a tag is
+        given (the runner tags by cell key).
+        """
+        if other is None:
+            return
+        snap = other.snapshot() if isinstance(other, Telemetry) else other
+        for record in snap.get("events", ()):
+            if tag is not None:
+                record = {**record, "cell": tag}
+            self.events.append(record)
+        for name, n in snap.get("counters", {}).items():
+            self.counters[name] = self.counters.get(name, 0) + int(n)
+        for name, agg in snap.get("spans", {}).items():
+            mine = self.spans.setdefault(name, {"count": 0, "seconds": 0.0})
+            mine["count"] += agg["count"]
+            mine["seconds"] += agg["seconds"]
+
+
+#: shared disabled sink: every emission is a cheap no-op.  Hand this to
+#: components whose caller did not provide a sink.
+NULL_TELEMETRY = Telemetry(enabled=False)
+
+
+def null_telemetry() -> Telemetry:
+    """The shared disabled sink (safe to share: it never mutates)."""
+    return NULL_TELEMETRY
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _json_default(value: Any) -> Any:
+    if hasattr(value, "tolist"):  # numpy arrays and scalars
+        return value.tolist()
+    if hasattr(value, "item"):
+        return value.item()
+    return str(value)

@@ -1,9 +1,11 @@
-"""Minimal structured run logging.
+"""Minimal structured run logging (legacy shim).
 
-The simulator favours explicit return values over side-effect logging, but
-long experiments (50-epoch training sweeps) benefit from progress lines and
-a machine-readable record.  ``RunLogger`` provides both without pulling in a
-logging framework.
+``RunLogger`` predates the unified :mod:`repro.telemetry` subsystem and
+is kept for backwards compatibility (flat ``{"t", "kind", **fields}``
+records).  New instrumentation should emit into a
+:class:`repro.telemetry.Telemetry` sink instead: it adds named counters,
+timing spans, cross-process merge and the ``{ts, kind, payload}`` JSONL
+trace schema the CLI's ``--trace`` flag documents.
 """
 
 from __future__ import annotations

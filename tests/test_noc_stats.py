@@ -48,6 +48,7 @@ class TestLinkLoads:
         ]
         sim_stats = _run(mesh, packets)
         stats = link_loads_for_packets(mesh, packets, sim_stats.cycles)
+        assert stats.busiest_link is not None
         link, flits = stats.busiest_link
         assert link == (1, 2)  # shared final hop
         assert flits == 8
@@ -69,4 +70,24 @@ class TestLinkLoads:
         stats = LinkStats(loads={}, cycles=0)
         assert stats.total_flit_hops == 0
         assert stats.parallelism() == 0.0
-        assert stats.busiest_link == ((0, 0), 0)
+        # No load means no busiest link — not a fabricated ((0, 0), 0).
+        assert stats.busiest_link is None
+        assert stats.peak_utilisation() == 0.0
+
+    def test_record_into_telemetry(self):
+        from repro.telemetry import Telemetry
+
+        mesh = Mesh(1, 3)
+        packets = [Packet(0, MessageType.ACTIVATION, 0, (2,), size_flits=4)]
+        sim_stats = _run(mesh, packets)
+        stats = link_loads_for_packets(mesh, packets, sim_stats.cycles)
+        tel = Telemetry(echo=False)
+        stats.record(tel, phase="transfer")
+        (event,) = tel.filter("link_stats")
+        assert event["payload"]["phase"] == "transfer"
+        assert event["payload"]["total_flit_hops"] == stats.total_flit_hops
+        assert tel.counters["noc.flit_hops"] == stats.total_flit_hops
+
+        empty = LinkStats(loads={}, cycles=0)
+        empty.record(tel)
+        assert tel.filter("link_stats")[-1]["payload"]["busiest_link"] is None

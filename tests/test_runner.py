@@ -151,6 +151,61 @@ class TestSharedDatasetCache:
             )
 
 
+class TestTelemetryMerge:
+    """Worker telemetry folds back into the parent sink identically for
+    serial, fork-pool and spawn-pool execution."""
+
+    def _cells(self):
+        return [
+            ExperimentCell("a", _tiny(seed=11)),
+            ExperimentCell("b", _tiny(seed=12, model="resnet12")),
+        ]
+
+    def _aggregate(self, **kwargs):
+        from repro.telemetry import Telemetry
+
+        tel = Telemetry(echo=False)
+        results = run_experiments(self._cells(), telemetry=tel, **kwargs)
+        assert all(r.ok for r in results), [r.error for r in results]
+        return tel, results
+
+    def test_every_cell_carries_a_snapshot(self):
+        _, results = self._aggregate(workers=1)
+        for res in results:
+            assert res.telemetry is not None
+            assert res.telemetry["counters"]["engine.cache_misses"] > 0
+            assert res.telemetry["events"]
+
+    def test_serial_fork_spawn_aggregate_identically(self):
+        serial, _ = self._aggregate(workers=1)
+        fork, _ = self._aggregate(workers=2, start_method="fork")
+        spawn, _ = self._aggregate(workers=2, start_method="spawn")
+        assert serial.counters == fork.counters == spawn.counters
+        # span *counts* are deterministic (durations are wall clock)
+        span_counts = lambda t: {k: v["count"] for k, v in t.spans.items()}
+        assert span_counts(serial) == span_counts(fork) == span_counts(spawn)
+        # merged events arrive in submission order, tagged by cell key
+        order = lambda t: [(e["cell"], e["kind"]) for e in t.events]
+        assert order(serial) == order(fork) == order(spawn)
+
+    def test_parent_counters_equal_snapshot_sums(self):
+        tel, results = self._aggregate(workers=1)
+        summed: dict[str, int] = {}
+        for res in results:
+            for name, n in res.telemetry["counters"].items():
+                summed[name] = summed.get(name, 0) + n
+        assert tel.counters == summed
+
+    def test_failed_cell_still_returns_telemetry(self):
+        from repro.telemetry import Telemetry
+
+        tel = Telemetry(echo=False)
+        cells = [ExperimentCell("bad", _tiny(model="no-such-model"))]
+        (res,) = run_experiments(cells, workers=1, telemetry=tel)
+        assert not res.ok
+        assert res.telemetry is not None  # partial trace, still merged
+
+
 class TestResultsByKey:
     def _res(self, key) -> CellResult:
         return CellResult(
