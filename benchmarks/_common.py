@@ -12,12 +12,19 @@ width-scaled NumPy simulator on synthetic data, 8 epochs instead of 50);
 the reproduced quantity is the *shape*: who wins, roughly by how much,
 and in which direction each knob moves the result.  See EXPERIMENTS.md.
 
-Runtime knobs (see "Runtime & parallelism" in EXPERIMENTS.md):
+Runtime knobs (see "Runtime & parallelism" and "Resilience & resume" in
+EXPERIMENTS.md):
 
 * ``REPRO_BENCH_WORKERS`` — experiment cells per figure fan out over this
   many worker processes (``auto`` = CPU count; default serial).  Cells
   are seed-deterministic, so the numbers are identical at any width.
 * ``REPRO_BENCH_DTYPE`` — ``float32`` (default, fast) or ``float64``.
+* ``REPRO_BENCH_RESUME`` — when truthy, every figure sweep checkpoints
+  each finished cell to ``results/checkpoints/<figure>.jsonl`` and a
+  re-run skips the cells already recorded there (bit-identical restore).
+* ``REPRO_BENCH_TIMEOUT`` / ``REPRO_BENCH_RETRIES`` — per-cell wall-clock
+  timeout (seconds) and the retry budget for crashed/timed-out cells
+  (resolved inside :func:`repro.runner.run_experiments`).
 """
 
 from __future__ import annotations
@@ -38,6 +45,9 @@ from repro.utils.config import (
 
 SCALE = os.environ.get("REPRO_BENCH_SCALE", "default")
 DTYPE = os.environ.get("REPRO_BENCH_DTYPE", "float32")
+RESUME = os.environ.get("REPRO_BENCH_RESUME", "").strip().lower() in (
+    "1", "true", "yes", "on"
+)
 
 #: the six CNNs of the paper (Fig. 5/6/8).
 ALL_MODELS = ["vgg11", "vgg16", "vgg19", "resnet12", "resnet18", "squeezenet"]
@@ -55,6 +65,7 @@ if _OVERRIDE:
 CROSSBAR = CrossbarConfig(rows=32, cols=32)
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+CHECKPOINT_DIR = RESULTS_DIR / "checkpoints"
 
 
 def train_config(model: str, dataset: str = "synth-cifar10") -> TrainConfig:
@@ -104,7 +115,13 @@ def experiment(
 
 
 def run_cells(
-    cells: Iterable[ExperimentCell], workers: int | None = None
+    cells: Iterable[ExperimentCell],
+    workers: int | None = None,
+    *,
+    name: str | None = None,
+    checkpoint: str | pathlib.Path | None = None,
+    timeout: float | None = None,
+    retry: int | None = None,
 ) -> dict[Any, CellResult]:
     """Fan the cells across the runner and index the results by key.
 
@@ -112,21 +129,42 @@ def run_cells(
     every failed cell; failed cells surface as NaN accuracies downstream
     (via :attr:`CellResult.final_accuracy`) rather than aborting the
     whole figure.
+
+    ``name`` identifies the figure's checkpoint file: when
+    ``REPRO_BENCH_RESUME`` is set (or an explicit ``checkpoint`` path is
+    given), finished cells are appended to
+    ``results/checkpoints/<name>.jsonl`` as they complete and an
+    interrupted bench re-run restores them instead of re-training.
+    Timeouts and crash retries default to the ``REPRO_BENCH_TIMEOUT`` /
+    ``REPRO_BENCH_RETRIES`` environment knobs.
     """
     cell_list = list(cells)
     total = len(cell_list)
     done = 0
+    if checkpoint is None and RESUME and name:
+        checkpoint = CHECKPOINT_DIR / f"{name}.jsonl"
 
     def _progress(res: CellResult) -> None:
         nonlocal done
         done += 1
         status = "ok" if res.ok else "FAILED"
+        if res.restored:
+            status += " (cached)"
+        elif res.attempts > 1:
+            status += f" (retried x{res.attempts - 1})"
         print(
             f"  [{done:>{len(str(total))}}/{total}] {res.key}: {status} "
             f"({res.wall_seconds:.1f}s, pid {res.worker_pid})"
         )
 
-    results = run_experiments(cell_list, workers=workers, on_result=_progress)
+    results = run_experiments(
+        cell_list,
+        workers=workers,
+        on_result=_progress,
+        timeout=timeout,
+        retry=retry,
+        checkpoint=checkpoint,
+    )
     failures = [r for r in results if not r.ok]
     for res in failures:
         print(f"\ncell {res.key!r} failed:\n{res.error}")

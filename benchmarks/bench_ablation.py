@@ -32,8 +32,10 @@ def _cell(label: str, kwargs: dict, threshold: float) -> ExperimentCell:
 
 
 def run_ablation() -> dict:
-    by_key = run_cells(_cell(label, kwargs, thr)
-                       for label, kwargs, thr in VARIANTS)
+    by_key = run_cells(
+        (_cell(label, kwargs, thr) for label, kwargs, thr in VARIANTS),
+        name="ablation",
+    )
     rows = []
     results = {}
     for label, _, _ in VARIANTS:

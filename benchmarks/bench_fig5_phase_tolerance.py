@@ -35,7 +35,8 @@ def _cell(model: str, variant: str) -> ExperimentCell:
 
 def run_fig5() -> dict:
     by_key = run_cells(
-        _cell(model, variant) for model in MODELS for variant in VARIANTS
+        (_cell(model, variant) for model in MODELS for variant in VARIANTS),
+        name="fig5",
     )
     rows = []
     results: dict[str, dict[str, float]] = {}

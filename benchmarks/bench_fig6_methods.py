@@ -35,13 +35,16 @@ POLICIES: list[tuple[str, str, float]] = [
 def run_fig6() -> dict:
     faults = fig6_fault_config()
     by_key = run_cells(
-        ExperimentCell(
-            (model, label),
-            experiment(model, policy, faults, policy_param=param),
-            tags={"policy": policy},
-        )
-        for model in MODELS
-        for label, policy, param in POLICIES
+        (
+            ExperimentCell(
+                (model, label),
+                experiment(model, policy, faults, policy_param=param),
+                tags={"policy": policy},
+            )
+            for model in MODELS
+            for label, policy, param in POLICIES
+        ),
+        name="fig6",
     )
     results: dict[str, dict[str, float]] = {}
     remap_counts: dict[str, int] = {}

@@ -42,7 +42,7 @@ def _cells() -> list[ExperimentCell]:
 
 
 def run_fig7() -> dict:
-    by_key = run_cells(_cells())
+    by_key = run_cells(_cells(), name="fig7")
     results: dict[str, dict] = {}
     for model in SWEEP_MODELS:
         ideal = by_key[(model, "ideal")].final_accuracy

@@ -36,10 +36,13 @@ def _cell(dataset: str, model: str, label: str, policy: str) -> ExperimentCell:
 
 def run_fig8() -> dict:
     by_key = run_cells(
-        _cell(dataset, model, label, policy)
-        for dataset in DATASETS
-        for model in MODELS
-        for label, policy in POLICIES
+        (
+            _cell(dataset, model, label, policy)
+            for dataset in DATASETS
+            for model in MODELS
+            for label, policy in POLICIES
+        ),
+        name="fig8",
     )
     results: dict[str, dict[str, dict[str, float]]] = {}
     for dataset in DATASETS:

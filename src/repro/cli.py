@@ -4,6 +4,8 @@ Examples::
 
     python -m repro run --model resnet12 --policy remap-d --epochs 8
     python -m repro compare --model vgg11 --policies ideal none remap-d
+    python -m repro sweep --models vgg11 resnet12 --seeds 1 2 \\
+        --workers 4 --timeout 900 --resume sweep.jsonl
     python -m repro overheads
     python -m repro bist --sa0 150 --sa1 20
 
@@ -14,6 +16,12 @@ Experiment commands run against a :class:`repro.telemetry.Telemetry`
 sink: live events echo to stderr (suppressed by ``--quiet``), the final
 tables render from the aggregated summary, and ``--trace out.jsonl``
 writes the full structured event trace.
+
+``sweep`` fans a model x policy x seed grid across worker processes via
+:func:`repro.runner.run_experiments` and exposes the runner's resilience
+surface: ``--timeout`` (per-cell wall clock), ``--retries`` (crash/
+timeout retry budget) and ``--resume PATH`` (JSONL checkpoint; finished
+cells are skipped when the command is re-run after an interrupt).
 """
 
 from __future__ import annotations
@@ -39,8 +47,8 @@ from repro.utils.tabulate import render_table
 __all__ = ["main", "build_parser"]
 
 
-def _experiment_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--model", choices=MODEL_NAMES, default="resnet12")
+def _training_args(parser: argparse.ArgumentParser) -> None:
+    """Knobs shared by every experiment-running command."""
     parser.add_argument("--dataset", choices=DATASET_NAMES,
                         default="synth-cifar10")
     parser.add_argument("--epochs", type=int, default=8)
@@ -50,7 +58,6 @@ def _experiment_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--width-mult", type=float, default=0.125)
     parser.add_argument("--crossbar-size", type=int, default=32,
                         help="crossbar rows=cols (paper: 128)")
-    parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--no-pre-faults", action="store_true")
     parser.add_argument("--no-post-faults", action="store_true")
     parser.add_argument("--post-m", type=float, default=0.005,
@@ -58,17 +65,27 @@ def _experiment_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--post-n", type=float, default=0.01,
                         help="fraction of crossbars hit per epoch")
     parser.add_argument("--remap-threshold", type=float, default=0.001)
+
+
+def _output_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--quiet", action="store_true",
                         help="suppress live telemetry echo and ASCII bars")
     parser.add_argument("--trace", metavar="PATH", default=None,
                         help="write the structured event trace as JSONL")
 
 
-def _config_from(args: argparse.Namespace, policy: str,
-                 policy_param: float = 0.0) -> ExperimentConfig:
+def _experiment_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--model", choices=MODEL_NAMES, default="resnet12")
+    _training_args(parser)
+    parser.add_argument("--seed", type=int, default=1)
+    _output_args(parser)
+
+
+def _build_config(args: argparse.Namespace, model: str, policy: str,
+                  seed: int, policy_param: float = 0.0) -> ExperimentConfig:
     return ExperimentConfig(
         train=TrainConfig(
-            model=args.model,
+            model=model,
             dataset=args.dataset,
             epochs=args.epochs,
             batch_size=args.batch_size,
@@ -89,8 +106,13 @@ def _config_from(args: argparse.Namespace, policy: str,
         policy=policy,
         policy_param=policy_param,
         remap_threshold=args.remap_threshold,
-        seed=args.seed,
+        seed=seed,
     )
+
+
+def _config_from(args: argparse.Namespace, policy: str,
+                 policy_param: float = 0.0) -> ExperimentConfig:
+    return _build_config(args, args.model, policy, args.seed, policy_param)
 
 
 def _make_telemetry(args: argparse.Namespace) -> Telemetry:
@@ -172,6 +194,77 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.runner import ExperimentCell, results_by_key, run_experiments
+
+    tel = _make_telemetry(args)
+    cells = [
+        ExperimentCell(
+            (model, policy, seed),
+            _build_config(args, model, policy, seed),
+        )
+        for model in args.models
+        for policy in args.policies
+        for seed in args.seeds
+    ]
+    total = len(cells)
+    done = 0
+
+    def _progress(res) -> None:
+        nonlocal done
+        done += 1
+        status = "ok" if res.ok else "FAILED"
+        if res.restored:
+            status += " (cached)"
+        elif res.attempts > 1:
+            status += f" (retried x{res.attempts - 1})"
+        if not args.quiet:
+            print(
+                f"  [{done:>{len(str(total))}}/{total}] {res.key}: {status} "
+                f"({res.wall_seconds:.1f}s)",
+                file=sys.stderr,
+            )
+
+    results = run_experiments(
+        cells,
+        workers=args.workers,
+        on_result=_progress,
+        telemetry=tel,
+        timeout=args.timeout,
+        retry=args.retries,
+        checkpoint=args.resume,
+    )
+    by_key = results_by_key(results)
+    rows = []
+    for model in args.models:
+        for policy in args.policies:
+            for seed in args.seeds:
+                res = by_key[(model, policy, seed)]
+                remaps = res.result.num_remaps if res.ok else "-"
+                status = "cached" if res.restored else (
+                    "ok" if res.ok else "FAILED"
+                )
+                rows.append([model, policy, seed, res.final_accuracy,
+                             remaps, status])
+    print(render_table(
+        ["model", "policy", "seed", "final acc", "remaps", "status"],
+        rows,
+        title=f"sweep ({total} cells, dataset {args.dataset})",
+        ndigits=4,
+    ))
+    print()
+    print(render_table(
+        ["counter / span", "value", "detail"],
+        _telemetry_rows(tel.summary()),
+        title="sweep telemetry",
+    ))
+    failures = [r for r in results if not r.ok]
+    for res in failures:
+        print(f"\ncell {res.key!r} failed:\n{res.error}", file=sys.stderr)
+    _finish_trace(tel, args)
+    return 1 if failures else 0
+
+
 def _cmd_overheads(args: argparse.Namespace) -> int:
     from repro.area.models import bist_area_overhead, policy_area_overhead
     from repro.bist.march import march_cost_cycles
@@ -203,6 +296,20 @@ def _cmd_bist(args: argparse.Namespace) -> int:
     from repro.utils.rng import derive_rng
 
     cfg = CrossbarConfig(rows=args.crossbar_size, cols=args.crossbar_size)
+    # Validate the fault budget up front: rng.choice would otherwise die
+    # with an opaque "Cannot take a larger sample than population" error.
+    if args.sa0 < 0 or args.sa1 < 0:
+        print("error: --sa0 and --sa1 must be non-negative", file=sys.stderr)
+        return 2
+    total = args.sa0 + args.sa1
+    if total > cfg.cells:
+        print(
+            f"error: --sa0 {args.sa0} + --sa1 {args.sa1} = {total} faults "
+            f"exceed the {cfg.rows}x{cfg.cols} crossbar's {cfg.cells} cells; "
+            f"lower the counts or raise --crossbar-size",
+            file=sys.stderr,
+        )
+        return 2
     rng = derive_rng(args.seed, "cli-bist")
     fm = FaultMap(cfg.rows, cfg.cols)
     cells = rng.choice(cfg.cells, size=args.sa0 + args.sa1, replace=False)
@@ -240,6 +347,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--policies", nargs="+", choices=POLICY_NAMES,
                        default=["ideal", "none", "remap-d"])
     p_cmp.set_defaults(func=_cmd_compare)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="fan a model x policy x seed grid across worker processes "
+             "(resumable: --resume / --timeout / --retries)",
+    )
+    p_sweep.add_argument("--models", nargs="+", choices=MODEL_NAMES,
+                         default=["resnet12"])
+    p_sweep.add_argument("--policies", nargs="+", choices=POLICY_NAMES,
+                         default=["ideal", "none", "remap-d"])
+    p_sweep.add_argument("--seeds", nargs="+", type=int, default=[1])
+    _training_args(p_sweep)
+    p_sweep.add_argument("--workers", type=int, default=None,
+                         help="worker processes (default: "
+                              "REPRO_BENCH_WORKERS, serial)")
+    p_sweep.add_argument("--timeout", type=float, default=None,
+                         help="per-cell wall-clock timeout in seconds; a "
+                              "worker past its deadline is killed and the "
+                              "cell retried (default: REPRO_BENCH_TIMEOUT)")
+    p_sweep.add_argument("--retries", type=int, default=None,
+                         help="retries per crashed/timed-out cell "
+                              "(default: REPRO_BENCH_RETRIES, 2)")
+    p_sweep.add_argument("--resume", metavar="PATH", default=None,
+                         help="JSONL checkpoint file: finished cells are "
+                              "appended as they complete and skipped when "
+                              "the sweep is re-run")
+    _output_args(p_sweep)
+    p_sweep.set_defaults(func=_cmd_sweep)
 
     p_ovh = sub.add_parser("overheads", help="print hardware overheads")
     p_ovh.set_defaults(func=_cmd_overheads)

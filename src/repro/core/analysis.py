@@ -88,10 +88,13 @@ def seed_average(
     ``spread`` is max - min of the final accuracies — the honest
     uncertainty figure for small-sample sweeps.
     """
-    results = [run_experiment(replace(config, seed=s)) for s in seeds]
-    accs = [r.final_accuracy for r in results]
-    if not accs:
+    seed_list = list(seeds)
+    # Validate before running anything: an empty seed list used to be
+    # noticed only *after* the whole sweep had executed.
+    if not seed_list:
         raise ValueError("seed_average needs at least one seed")
+    results = [run_experiment(replace(config, seed=s)) for s in seed_list]
+    accs = [r.final_accuracy for r in results]
     return (
         sum(accs) / len(accs),
         max(accs) - min(accs),

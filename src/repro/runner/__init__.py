@@ -1,8 +1,14 @@
-"""Process-parallel experiment fan-out (see :mod:`repro.runner.runner`)."""
+"""Process-parallel experiment fan-out with crash/timeout resilience and
+checkpoint/resume (see :mod:`repro.runner.runner` and
+:mod:`repro.runner.checkpoint`)."""
 
+from repro.runner.checkpoint import CheckpointStore, cell_fingerprint
 from repro.runner.runner import (
     CellResult,
     ExperimentCell,
+    RetryPolicy,
+    default_retries,
+    default_timeout,
     default_workers,
     results_by_key,
     run_experiments,
@@ -10,7 +16,12 @@ from repro.runner.runner import (
 
 __all__ = [
     "CellResult",
+    "CheckpointStore",
     "ExperimentCell",
+    "RetryPolicy",
+    "cell_fingerprint",
+    "default_retries",
+    "default_timeout",
     "default_workers",
     "results_by_key",
     "run_experiments",

@@ -1,0 +1,127 @@
+"""JSONL sweep checkpoints: skip already-finished cells on resume.
+
+A multi-hour figure sweep should survive an interrupt (Ctrl-C, OOM kill,
+power loss) without discarding the cells that already finished.  The
+runner therefore appends one record per *successful* cell to a JSONL
+checkpoint file as the cell completes, and ``run_experiments(...,
+checkpoint=path)`` restores matching records instead of re-running them.
+
+Record identity
+---------------
+Each record is keyed by :func:`cell_fingerprint` — a SHA-256 over the
+cell key's ``repr`` plus the fully serialised
+:class:`~repro.utils.config.ExperimentConfig`.  Any change to the sweep
+definition (different seed, fault regime, training recipe, ...) changes
+the fingerprint, so a stale checkpoint can never leak a result into a
+different experiment.  Cells are seed-deterministic, which makes the
+restore *bit-identical* to re-running: the stored
+:class:`~repro.runner.runner.CellResult` carries the full result object
+and its telemetry snapshot.
+
+File format
+-----------
+One JSON object per line::
+
+    {"v": 1, "fingerprint": "<sha256>", "key": "('vgg11', 'ideal')",
+     "ok": true, "wall_seconds": 12.3, "payload": "<base64 pickle>"}
+
+The readable fields exist for ``grep``/``jq`` inspection; the result
+itself rides in ``payload`` as a base64 pickle (numpy arrays round-trip
+bit-for-bit, which JSON cannot guarantee).  Records are flushed and
+fsync'd as they are written, and :meth:`CheckpointStore.load` tolerates a
+truncated or corrupt trailing line — the tell-tale of a crash mid-write —
+by skipping it (that cell simply re-runs).
+
+Only successful cells are checkpointed: a failed cell is retried on the
+next resume rather than having its failure replayed forever.
+
+.. warning::
+   Checkpoints embed pickles; load only files your own runs produced.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import pathlib
+import pickle
+from typing import Any
+
+from repro.utils.config import ExperimentConfig
+
+__all__ = ["CheckpointStore", "cell_fingerprint"]
+
+#: bump when the record layout changes; mismatched records are ignored.
+CHECKPOINT_VERSION = 1
+
+
+def cell_fingerprint(key: Any, config: ExperimentConfig) -> str:
+    """Stable identity of one sweep cell: key repr + full config.
+
+    Uses a canonical JSON rendering (sorted keys, ``repr`` fallback for
+    exotic values such as variation models) so the fingerprint is stable
+    across processes and Python hash randomisation.
+    """
+    doc = {"key": repr(key), "config": config.to_dict()}
+    blob = json.dumps(doc, sort_keys=True, default=repr)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class CheckpointStore:
+    """Append-only JSONL store of finished cell results.
+
+    >>> store = CheckpointStore("/tmp/sweep.jsonl")  # doctest: +SKIP
+    >>> store.append(fp, result)                     # doctest: +SKIP
+    >>> store.load()[fp].ok                          # doctest: +SKIP
+    True
+    """
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = pathlib.Path(path)
+
+    def load(self) -> dict[str, Any]:
+        """Fingerprint -> restored ``CellResult`` for every valid record.
+
+        Malformed lines (typically a truncated tail after a crash) and
+        records from other checkpoint versions are skipped silently; a
+        duplicated fingerprint keeps the last record written.
+        """
+        if not self.path.exists():
+            return {}
+        restored: dict[str, Any] = {}
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    if record.get("v") != CHECKPOINT_VERSION:
+                        continue
+                    fingerprint = record["fingerprint"]
+                    result = pickle.loads(base64.b64decode(record["payload"]))
+                except Exception:
+                    continue
+                restored[fingerprint] = result
+        return restored
+
+    def append(self, fingerprint: str, result: Any) -> None:
+        """Durably append one finished cell (flush + fsync per record)."""
+        payload = base64.b64encode(
+            pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        ).decode("ascii")
+        record = {
+            "v": CHECKPOINT_VERSION,
+            "fingerprint": fingerprint,
+            "key": repr(result.key),
+            "ok": bool(result.ok),
+            "wall_seconds": round(float(result.wall_seconds), 3),
+            "payload": payload,
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())

@@ -31,6 +31,20 @@ own, serialises it with :meth:`Telemetry.snapshot` (plain dicts — pickles
 under ``fork`` *and* ``spawn``) and the parent folds the snapshots back in
 with :meth:`Telemetry.merge`.  Counters and span aggregates add; events
 concatenate, optionally tagged with the originating cell.
+
+Runner resilience events
+------------------------
+The parallel runner additionally emits parent-side records as its
+recovery machinery acts (a dead worker's own sink is lost with the
+process, so these cannot ride on worker snapshots):
+
+* events — ``cell_crashed`` (worker died without reporting),
+  ``cell_timeout`` (worker exceeded the per-cell deadline and was
+  killed), ``cell_retried`` (the cell was re-queued with backoff) and
+  ``cell_restored`` (the result was served from a checkpoint file);
+* counters — ``runner.cell_crashes``, ``runner.cell_timeouts``,
+  ``runner.cell_retries``, ``runner.cells_restored`` and
+  ``runner.cells_failed`` (retries exhausted).
 """
 
 from __future__ import annotations

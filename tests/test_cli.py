@@ -1,0 +1,76 @@
+"""CLI tests: argument validation, bist fault budget, resumable sweep."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        for command in ("run", "compare", "sweep", "overheads", "bist"):
+            args = parser.parse_args([command])
+            assert args.command == command
+
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.models == ["resnet12"]
+        assert args.timeout is None and args.retries is None
+        assert args.resume is None
+
+
+class TestBistValidation:
+    def test_fault_budget_over_cell_count_is_a_clear_error(self, capsys):
+        # 8x8 = 64 cells < 100 + 20 faults: used to die inside rng.choice
+        # with "Cannot take a larger sample than population".
+        rc = main(["bist", "--sa0", "100", "--sa1", "20",
+                   "--crossbar-size", "8"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "120" in err and "64 cells" in err and "--crossbar-size" in err
+
+    def test_negative_counts_rejected(self, capsys):
+        rc = main(["bist", "--sa0", "-1", "--sa1", "5"])
+        assert rc == 2
+        assert "non-negative" in capsys.readouterr().err
+
+    def test_valid_budget_still_runs(self, capsys):
+        rc = main(["bist", "--sa0", "5", "--sa1", "2",
+                   "--crossbar-size", "16"])
+        assert rc == 0
+        assert "BIST" in capsys.readouterr().out
+
+
+@pytest.fixture
+def sweep_args(tmp_path):
+    return [
+        "sweep", "--models", "vgg11", "--policies", "none", "--seeds", "1",
+        "--epochs", "1", "--batch-size", "16", "--n-train", "32",
+        "--n-test", "32", "--quiet",
+        "--resume", str(tmp_path / "sweep.jsonl"),
+    ]
+
+
+class TestSweepCommand:
+    def test_sweep_runs_and_checkpoints(self, sweep_args, tmp_path, capsys):
+        rc = main(sweep_args)
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "vgg11" in out and "sweep telemetry" in out
+        checkpoint = tmp_path / "sweep.jsonl"
+        assert checkpoint.exists()
+        records = [
+            json.loads(line)
+            for line in checkpoint.read_text(encoding="utf-8").splitlines()
+        ]
+        assert len(records) == 1 and records[0]["ok"] is True
+
+    def test_sweep_resumes_from_checkpoint(self, sweep_args, capsys):
+        assert main(sweep_args) == 0
+        capsys.readouterr()
+        assert main(sweep_args) == 0
+        out = capsys.readouterr().out
+        assert "cached" in out
+        assert "runner.cells_restored" in out

@@ -133,6 +133,21 @@ class TestAnalysis:
         assert len(results) == 2
         assert 0 <= mean <= 1 and spread >= 0
 
+    def test_seed_average_validates_before_running(self, monkeypatch):
+        # Regression: the empty-seeds check used to sit *after* the sweep.
+        import repro.core.analysis as analysis
+
+        def boom(*args, **kwargs):
+            raise AssertionError("ran an experiment despite empty seeds")
+
+        monkeypatch.setattr(analysis, "run_experiment", boom)
+        with pytest.raises(ValueError, match="at least one seed"):
+            seed_average(_tiny_config("ideal"), [])
+        # A generator of seeds must also survive the validation pass.
+        monkeypatch.undo()
+        mean, _, results = seed_average(_tiny_config("ideal"), iter([1]))
+        assert len(results) == 1 and 0 <= mean <= 1
+
     def test_loss_table_shape(self):
         sweep = run_sweep([
             ("ideal", _tiny_config("ideal")),

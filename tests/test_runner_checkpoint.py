@@ -1,0 +1,213 @@
+"""Checkpoint/resume tests: interrupted sweeps resume bit-identically."""
+
+import json
+
+import pytest
+
+from repro.runner import (
+    CheckpointStore,
+    ExperimentCell,
+    RetryPolicy,
+    cell_fingerprint,
+    run_experiments,
+)
+from repro.telemetry import Telemetry
+from repro.utils.config import (
+    ChipConfig,
+    CrossbarConfig,
+    ExperimentConfig,
+    FaultConfig,
+    TrainConfig,
+)
+
+
+def _tiny(model: str = "vgg11", seed: int = 11, **train_kw) -> ExperimentConfig:
+    train_kw.setdefault("epochs", 1)
+    return ExperimentConfig(
+        train=TrainConfig(
+            model=model, batch_size=16, n_train=32, n_test=32,
+            width_mult=0.125, **train_kw,
+        ),
+        chip=ChipConfig(crossbar=CrossbarConfig(rows=32, cols=32)),
+        faults=FaultConfig(),
+        policy="none",
+        seed=seed,
+    )
+
+
+def _cells() -> list[ExperimentCell]:
+    return [
+        ExperimentCell("a", _tiny(seed=11)),
+        ExperimentCell("b", _tiny(seed=12, model="resnet12")),
+    ]
+
+
+def _tel_shape(snapshot):
+    """Deterministic view of a telemetry snapshot: counters, event kinds
+    and payloads, span counts — everything except wall-clock fields
+    (event ``ts`` and ``seconds``/``wall_seconds`` payloads), which
+    cannot repeat across separate executions."""
+    events = []
+    for event in snapshot["events"]:
+        payload = {
+            k: v for k, v in event["payload"].items()
+            if k not in ("seconds", "wall_seconds")
+        }
+        events.append((event["kind"], repr(sorted(payload.items()))))
+    spans = {k: v["count"] for k, v in snapshot["spans"].items()}
+    return snapshot["counters"], events, spans
+
+
+def _assert_bit_identical(lhs, rhs):
+    for left, right in zip(lhs, rhs):
+        assert left.key == right.key
+        assert left.ok and right.ok
+        assert left.final_accuracy == right.final_accuracy
+        assert (
+            left.result.train_result.accuracy_curve()
+            == right.result.train_result.accuracy_curve()
+        )
+        assert _tel_shape(left.telemetry) == _tel_shape(right.telemetry)
+
+
+class TestFingerprint:
+    def test_stable_for_equal_cells(self):
+        assert cell_fingerprint("a", _tiny()) == cell_fingerprint("a", _tiny())
+
+    def test_changes_with_key_and_config(self):
+        base = cell_fingerprint("a", _tiny())
+        assert cell_fingerprint("b", _tiny()) != base
+        assert cell_fingerprint("a", _tiny(seed=99)) != base
+
+
+class TestCheckpointFile:
+    def test_records_are_jsonl_with_readable_fields(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        run_experiments(_cells(), workers=1, checkpoint=path)
+        with open(path, "r", encoding="utf-8") as fh:
+            records = [json.loads(line) for line in fh]
+        assert len(records) == 2
+        for record in records:
+            assert record["v"] == 1
+            assert record["ok"] is True
+            assert {"fingerprint", "key", "wall_seconds", "payload"} <= set(
+                record
+            )
+
+    def test_truncated_tail_is_skipped(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        cells = _cells()
+        run_experiments(cells, workers=1, checkpoint=path)
+        # Simulate a crash mid-write: chop the second record in half.
+        lines = path.read_text(encoding="utf-8").splitlines(keepends=True)
+        path.write_text(lines[0] + lines[1][: len(lines[1]) // 2],
+                        encoding="utf-8")
+        store = CheckpointStore(path)
+        restored = store.load()
+        assert len(restored) == 1
+        fps = [cell_fingerprint(c.key, c.config) for c in cells]
+        assert fps[0] in restored and fps[1] not in restored
+
+    def test_garbage_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        path.write_text("not json at all\n{\"v\": 99}\n\n", encoding="utf-8")
+        assert CheckpointStore(path).load() == {}
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert CheckpointStore(tmp_path / "nope.jsonl").load() == {}
+
+
+class TestResume:
+    def test_full_resume_restores_everything(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        cells = _cells()
+        first = run_experiments(cells, workers=1, checkpoint=path)
+        tel = Telemetry(echo=False)
+        second = run_experiments(cells, workers=1, telemetry=tel,
+                                 checkpoint=path)
+        assert all(r.restored for r in second)
+        assert not any(r.restored for r in first)
+        assert tel.counters["runner.cells_restored"] == len(cells)
+        _assert_bit_identical(first, second)
+        # Restored results are the pickled originals: telemetry is equal
+        # to the last byte, wall-clock timestamps included.
+        for before, after in zip(first, second):
+            assert before.telemetry == after.telemetry
+
+    def test_partial_resume_equals_uninterrupted_run(self, tmp_path):
+        """An interrupted sweep (one cell done) resumed with the
+        checkpoint matches an uninterrupted run bit-for-bit: results and
+        merged telemetry."""
+        path = tmp_path / "sweep.jsonl"
+        cells = _cells()
+        uninterrupted_tel = Telemetry(echo=False)
+        uninterrupted = run_experiments(cells, workers=1,
+                                        telemetry=uninterrupted_tel)
+        # "Interrupt" after the first cell, then resume the full sweep.
+        run_experiments(cells[:1], workers=1, checkpoint=path)
+        resumed_tel = Telemetry(echo=False)
+        resumed = run_experiments(cells, workers=1, telemetry=resumed_tel,
+                                  checkpoint=path)
+        assert resumed[0].restored and not resumed[1].restored
+        _assert_bit_identical(uninterrupted, resumed)
+        # Merged *cell* telemetry is identical; the resumed sink only adds
+        # parent-side runner bookkeeping (cell_restored / runner.*).
+        cell_counters = {
+            k: v for k, v in resumed_tel.counters.items()
+            if not k.startswith("runner.")
+        }
+        assert cell_counters == uninterrupted_tel.counters
+        cell_events = [
+            (e["cell"], e["kind"]) for e in resumed_tel.events
+            if "cell" in e
+        ]
+        assert cell_events == [
+            (e["cell"], e["kind"]) for e in uninterrupted_tel.events
+        ]
+
+    def test_parallel_resume_matches_serial(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        cells = _cells()
+        serial = run_experiments(cells, workers=1)
+        run_experiments(cells[:1], workers=1, checkpoint=path)
+        resumed = run_experiments(cells, workers=2, checkpoint=path)
+        _assert_bit_identical(serial, resumed)
+
+    def test_config_change_invalidates_checkpoint(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        run_experiments(_cells(), workers=1, checkpoint=path)
+        changed = [
+            ExperimentCell("a", _tiny(seed=41)),
+            ExperimentCell("b", _tiny(seed=42, model="resnet12")),
+        ]
+        results = run_experiments(changed, workers=1, checkpoint=path)
+        assert not any(r.restored for r in results)
+
+    def test_failed_cells_are_not_checkpointed(self, tmp_path, monkeypatch):
+        from repro.runner.runner import CHAOS_ENV
+
+        path = tmp_path / "sweep.jsonl"
+        cells = _cells()
+        monkeypatch.setenv(CHAOS_ENV, "crash:'a':99")
+        first = run_experiments(
+            cells, workers=2, checkpoint=path,
+            retry=RetryPolicy(max_attempts=2, backoff_seconds=0.05),
+        )
+        assert not first[0].ok and first[1].ok
+        assert len(CheckpointStore(path).load()) == 1
+        # Re-running without chaos retries the failed cell and restores
+        # the finished one.
+        monkeypatch.delenv(CHAOS_ENV)
+        second = run_experiments(cells, workers=2, checkpoint=path)
+        assert second[0].ok and not second[0].restored
+        assert second[1].restored
+
+    def test_on_result_sees_restored_cells(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        cells = _cells()
+        run_experiments(cells, workers=1, checkpoint=path)
+        seen = []
+        run_experiments(cells, workers=1, checkpoint=path,
+                        on_result=seen.append)
+        assert sorted(r.key for r in seen) == ["a", "b"]
+        assert all(r.restored for r in seen)
