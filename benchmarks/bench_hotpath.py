@@ -216,6 +216,50 @@ def bench_telemetry_overhead() -> dict:
     }
 
 
+def bench_profiling_overhead() -> dict:
+    """Full layer forward with per-layer profiling spans ON vs OFF.
+
+    Profiling (``Telemetry.profile``) is opt-in precisely because it does
+    add measurable per-forward work (a span per layer call: two
+    perf_counter reads, an event append, contextvar push/pop).  This
+    bench quantifies that price — it is reported, not gated; the gated
+    quantity is the profiling-OFF overhead measured by
+    ``bench_telemetry_overhead``.
+    """
+    model, engine, x = _bound_eval_layer()
+    tel = Telemetry(echo=False)
+    engine.telemetry = tel
+    xb = Tensor(x)
+
+    def loop() -> None:
+        with no_grad():
+            for _ in range(50):
+                model(xb)
+
+    loop()  # warm up (and prime the weight cache)
+    off_times: list[float] = []
+    on_times: list[float] = []
+    for _ in range(REPS):
+        tel.profile = False
+        t0 = time.perf_counter()
+        loop()
+        off_times.append(time.perf_counter() - t0)
+        tel.profile = True
+        t0 = time.perf_counter()
+        loop()
+        on_times.append(time.perf_counter() - t0)
+    tel.profile = False
+    off = statistics.median(off_times)
+    on = statistics.median(on_times)
+    assert tel.spans, "profiling ON must record layer spans"
+    return {
+        "calls_per_rep": 50,
+        "profile_off_us": off * 1e6,
+        "profile_on_us": on * 1e6,
+        "overhead_fraction": on / off - 1.0,
+    }
+
+
 def bench_cache_equivalence() -> dict:
     """Fig. 5-style smoke cell run with the fast paths on and off.
 
@@ -293,6 +337,7 @@ def run_hotpath() -> dict:
         "eval_path": bench_eval_path(),
         "cache_hit": bench_cache_hit(),
         "telemetry": bench_telemetry_overhead(),
+        "profiling": bench_profiling_overhead(),
         "cache_equivalence": bench_cache_equivalence(),
         "train_epoch": bench_train_epoch(),
         "runner": [bench_runner_fanout(workers=1)],
@@ -321,6 +366,10 @@ def run_hotpath() -> dict:
     print(f"telemetry on cache-hit MVM: {tl['telemetry_on_us']:.0f}us vs "
           f"{tl['telemetry_off_us']:.0f}us off "
           f"({100 * tl['overhead_fraction']:+.2f}%)")
+    pf = payload["profiling"]
+    print(f"per-layer profiling spans (opt-in): forward "
+          f"{pf['profile_on_us']:.0f}us vs {pf['profile_off_us']:.0f}us off "
+          f"({100 * pf['overhead_fraction']:+.1f}%)")
     print("fig5 smoke cell, fast paths on vs off: "
           + ("bit-identical" if payload["cache_equivalence"]["identical"]
              else "MISMATCH"))

@@ -105,20 +105,35 @@ def scan_chip(
     chip,
     rng: np.random.Generator,
     noise_fraction: float = 0.01,
+    telemetry=None,
 ) -> np.ndarray:
     """BIST every crossbar on the chip; returns estimated densities.
 
     All BIST modules operate in parallel (one per IMA, crossbars within an
     IMA tested back-to-back), so the wall-clock cost stays at a few hundred
-    ReRAM cycles per epoch regardless of chip size.
+    ReRAM cycles per epoch regardless of chip size.  With a ``telemetry``
+    sink, one ``bist_scan_detail`` event summarises the scan (crossbars
+    tested plus the estimated stuck-at totals).
     """
     densities = np.empty(chip.num_crossbars, dtype=np.float64)
+    sa0_total = 0
+    sa1_total = 0
     for xb in chip.crossbars:
         # Fast path: a crossbar with no faults and low noise almost always
         # reads zero counts; still run the estimator so sensing noise can
         # produce (realistic) small false positives.
         result = run_bist(xb.fault_map, xb.config, rng, noise_fraction)
         densities[xb.xbar_id] = result.density
+        sa0_total += result.sa0_count
+        sa1_total += result.sa1_count
+    if telemetry is not None:
+        telemetry.event(
+            "bist_scan_detail",
+            crossbars=chip.num_crossbars,
+            sa0_est=sa0_total,
+            sa1_est=sa1_total,
+        )
+        telemetry.count("bist.crossbars_scanned", chip.num_crossbars)
     return densities
 
 

@@ -8,6 +8,7 @@ Examples::
         --workers 4 --timeout 900 --resume sweep.jsonl
     python -m repro overheads
     python -m repro bist --sa0 150 --sa1 20
+    python -m repro report run.jsonl --chrome-trace run.chrome.json
 
 Every command prints plain-text tables (and, where helpful, ASCII bars)
 so the tool is usable over ssh on the machine actually running the sims.
@@ -72,6 +73,10 @@ def _output_args(parser: argparse.ArgumentParser) -> None:
                         help="suppress live telemetry echo and ASCII bars")
     parser.add_argument("--trace", metavar="PATH", default=None,
                         help="write the structured event trace as JSONL")
+    parser.add_argument("--profile", action="store_true",
+                        help="per-layer forward/backward spans, MVM "
+                             "counters and per-step timing (adds per-batch "
+                             "overhead; off by default)")
 
 
 def _experiment_args(parser: argparse.ArgumentParser) -> None:
@@ -117,7 +122,9 @@ def _config_from(args: argparse.Namespace, policy: str,
 
 def _make_telemetry(args: argparse.Namespace) -> Telemetry:
     """One sink per CLI invocation: echo unless quiet, stderr only."""
-    return Telemetry(echo=not args.quiet, stream=sys.stderr)
+    tel = Telemetry(echo=not args.quiet, stream=sys.stderr)
+    tel.profile = bool(getattr(args, "profile", False))
+    return tel
 
 
 def _finish_trace(tel: Telemetry, args: argparse.Namespace) -> None:
@@ -129,7 +136,7 @@ def _finish_trace(tel: Telemetry, args: argparse.Namespace) -> None:
 
 
 def _telemetry_rows(summary: dict) -> list[list]:
-    """Counter + span-total rows rendered from an aggregated summary."""
+    """Counter, span and histogram rows from an aggregated summary."""
     rows: list[list] = []
     for name, value in sorted(summary.get("counters", {}).items()):
         rows.append([name, value, ""])
@@ -137,6 +144,12 @@ def _telemetry_rows(summary: dict) -> list[list]:
         rows.append(
             [f"span:{name}", agg["count"], f"{agg['seconds']:.2f}s total"]
         )
+    for name, h in sorted(summary.get("histograms", {}).items()):
+        rows.append([
+            f"hist:{name}", h["count"],
+            f"p50={h['p50']:.4g} p90={h['p90']:.4g} "
+            f"p99={h['p99']:.4g} max={h['max']:.4g}",
+        ])
     return rows
 
 
@@ -175,6 +188,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         # Per-policy child sink (its result summary covers that run
         # alone), merged into the invocation sink tagged by policy.
         run_tel = Telemetry(echo=False)
+        run_tel.profile = tel.profile
         result = run_experiment(_config_from(args, policy), telemetry=run_tel)
         tel.merge(run_tel, tag=policy)
         tel.event("policy_done", policy=policy,
@@ -263,6 +277,35 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"\ncell {res.key!r} failed:\n{res.error}", file=sys.stderr)
     _finish_trace(tel, args)
     return 1 if failures else 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.telemetry.report import build_report, load_trace, render_report
+    from repro.telemetry.trace import export_chrome_trace
+
+    try:
+        events, summary = load_trace(args.trace_file)
+    except OSError as exc:
+        print(f"error: cannot read trace {args.trace_file!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    if not events and not summary:
+        print(f"error: {args.trace_file!r} contains no telemetry records",
+              file=sys.stderr)
+        return 2
+    report = build_report(events, summary)
+    print(render_report(report))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, default=str)
+        print(f"report: -> {args.json}", file=sys.stderr)
+    if args.chrome_trace:
+        export_chrome_trace(events, args.chrome_trace)
+        print(f"chrome trace: -> {args.chrome_trace} "
+              "(load in Perfetto / chrome://tracing)", file=sys.stderr)
+    return 0
 
 
 def _cmd_overheads(args: argparse.Namespace) -> int:
@@ -375,6 +418,21 @@ def build_parser() -> argparse.ArgumentParser:
                               "the sweep is re-run")
     _output_args(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_rep = sub.add_parser(
+        "report",
+        help="render a --trace JSONL file as a terminal dashboard "
+             "(span tree, latency percentiles, chip-health timeline)",
+    )
+    p_rep.add_argument("trace_file", metavar="TRACE",
+                       help="JSONL trace written by --trace")
+    p_rep.add_argument("--json", metavar="PATH", default="report.json",
+                       help="write the machine-readable report here "
+                            "(default: report.json; '' to skip)")
+    p_rep.add_argument("--chrome-trace", metavar="PATH", default=None,
+                       help="also export Chrome trace-event JSON for "
+                            "Perfetto / chrome://tracing")
+    p_rep.set_defaults(func=_cmd_report)
 
     p_ovh = sub.add_parser("overheads", help="print hardware overheads")
     p_ovh.set_defaults(func=_cmd_overheads)

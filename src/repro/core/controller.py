@@ -35,8 +35,8 @@ from repro.nn.trainer import Trainer, TrainResult
 from repro.reram.chip import Chip
 from repro.reram.mapping import blocks_needed
 from repro.telemetry import Telemetry
+from repro.telemetry.health import sample_health
 from repro.utils.config import ChipConfig, ExperimentConfig
-from repro.utils.logging import RunLogger
 from repro.utils.rng import RngHub
 
 __all__ = [
@@ -168,7 +168,6 @@ def inject_phase_faults(
 
 def build_experiment(
     config: ExperimentConfig,
-    logger: RunLogger | None = None,
     telemetry: Telemetry | None = None,
 ) -> ExperimentContext:
     """Construct the full experiment stack (no training yet).
@@ -196,14 +195,14 @@ def build_experiment(
         tc.model, dataset.num_classes, tc.width_mult, hub.stream("init")
     )
     chip = Chip(size_chip_for_model(model, config.chip))
+    chip.telemetry = tel
     engine = CrossbarEngine(chip).bind(model)
     injector = FaultInjector(config.faults, hub.stream("faults"))
     policy = make_policy(
         config.policy, config.policy_param, config.remap_threshold,
         **config.policy_kwargs,
     )
-    trainer = Trainer(model, dataset, tc, hub.stream("train"), logger,
-                      telemetry=tel)
+    trainer = Trainer(model, dataset, tc, hub.stream("train"), telemetry=tel)
     if config.variation is not None:
         engine.set_variation(config.variation, hub.stream("variation"))
     engine.telemetry = tel
@@ -238,7 +237,6 @@ def build_experiment(
 
 def run_experiment(
     config: ExperimentConfig,
-    logger: RunLogger | None = None,
     telemetry: Telemetry | None = None,
 ) -> ExperimentResult:
     """Build and run one experiment end to end.
@@ -252,11 +250,14 @@ def run_experiment(
     tel = telemetry if telemetry is not None else Telemetry(echo=False)
     with tel.span("build_experiment", model=config.train.model,
                   policy=config.policy):
-        ctx = build_experiment(config, logger, telemetry=tel)
+        ctx = build_experiment(config, telemetry=tel)
     policy = ctx.policy
     chip = ctx.chip
     faults_active = not policy.disable_faults
     bist_rng = ctx.rng_hub.stream("bist")
+    # Baseline health sample: the chip's state after manufacturing faults
+    # but before any training epoch (epoch == -1 marks the setup sample).
+    sample_health(chip, tel, epoch=-1)
 
     def on_epoch_end(epoch: int, trainer: Trainer) -> None:
         # Weight updates this epoch wrote every mapped crossbar once per
@@ -270,15 +271,18 @@ def run_experiment(
                       epoch=epoch, crossbars=len(hit), cells=cells)
             tel.count("faults.post_cells", cells)
         if policy.uses_bist:
+            t_scan = time.perf_counter()
             with tel.span("bist_scan", epoch=epoch):
-                densities = scan_chip(chip, bist_rng)
+                densities = scan_chip(chip, bist_rng, telemetry=tel)
                 ctx.pair_density_est = pair_density_estimates(chip, densities)
+            tel.observe("bist.scan_seconds", time.perf_counter() - t_scan)
             ctx.bist_scans += 1
             tel.event("bist_scan", epoch=epoch,
                       mean_density_est=float(ctx.pair_density_est.mean()),
                       max_density_est=float(ctx.pair_density_est.max()))
             tel.count("bist_scans")
         policy.on_epoch_end(ctx, epoch)
+        sample_health(chip, tel, epoch=epoch)
 
     with tel.span("train", model=config.train.model, policy=config.policy):
         train_result = ctx.trainer.fit(on_epoch_end=on_epoch_end)

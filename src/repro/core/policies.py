@@ -18,6 +18,8 @@ permutes the task->pair assignment of the existing crossbars.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.core.remap_protocol import RemapProtocol
@@ -277,21 +279,26 @@ class RemapDPolicy(Policy):
 
     def _remap_pass(self, ctx, epoch: int) -> None:
         assert self.protocol is not None, "setup() not called"
-        with ctx.telemetry.span("remap_pass", epoch=epoch):
+        tel = ctx.telemetry
+        t_pass = time.perf_counter()
+        with tel.span("remap_pass", epoch=epoch):
             tasks = enumerate_tasks(ctx.engine.all_mappings())
             plan = self.protocol.plan(
                 tasks, ctx.pair_density_est, idle_pairs=ctx.chip.idle_pair_ids()
             )
             self.protocol.execute(plan)
+        tel.observe("remap.pass_seconds", time.perf_counter() - t_pass)
+        for decision in plan.decisions:
+            tel.observe("remap.hops", decision.hops)
         ctx.remap_plans.append((epoch, plan))
-        ctx.telemetry.event(
+        tel.event(
             "remap_planned",
             epoch=epoch,
             num_remaps=plan.num_remaps,
             senders=len(plan.sender_tiles),
         )
-        ctx.telemetry.count("remaps", plan.num_remaps)
-        ctx.telemetry.count("remap_passes")
+        tel.count("remaps", plan.num_remaps)
+        tel.count("remap_passes")
 
     def on_epoch_end(self, ctx, epoch: int) -> None:
         self._remap_pass(ctx, epoch)

@@ -182,9 +182,20 @@ class CrossbarEngine:
 
         ``shared_buffer`` is True when the result aliases the mapping's
         reusable clamp buffer (and must be copied before long-term use).
+        This is the cache-*miss* path only, so the opt-in instrumentation
+        here (``detail`` events, ``profile`` spans) never taxes the
+        per-batch hit path.
         """
-        self.recomputes += 1
         tel = self.telemetry
+        if tel is not None and tel.enabled and tel.profile:
+            with tel.span("mvm_recompute", key=key, path=path):
+                return self._compute_weight_impl(key, w2d, path, tel)
+        return self._compute_weight_impl(key, w2d, path, tel)
+
+    def _compute_weight_impl(
+        self, key: str, w2d: np.ndarray, path: str, tel
+    ) -> tuple[np.ndarray, bool]:
+        self.recomputes += 1
         if tel is not None and tel.detail:
             tel.event("weight_recompute", key=key, path=path)
         fwd, bwd = self.copies[key]

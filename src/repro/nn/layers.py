@@ -127,6 +127,23 @@ class Module:
         return self.forward(x)
 
 
+def _profile_sink(engine):
+    """The engine's telemetry sink when per-layer profiling is active.
+
+    Per-layer spans and MVM counters are opt-in (``Telemetry.profile``):
+    the default path must add *zero* work per forward call beyond this
+    one attribute check, so the bench_hotpath overhead gate keeps holding.
+    Ideal digital execution (``engine is None``) has no sink to profile
+    into and stays uninstrumented.
+    """
+    if engine is None:
+        return None
+    tel = getattr(engine, "telemetry", None)
+    if tel is not None and tel.enabled and tel.profile:
+        return tel
+    return None
+
+
 class Conv2d(Module):
     """2-D convolution executed as an im2col matrix product (crossbar MVM)."""
 
@@ -164,6 +181,14 @@ class Conv2d(Module):
         return (self.out_channels, self.in_channels * k * k)
 
     def forward(self, x: Tensor) -> Tensor:
+        tel = _profile_sink(self.engine)
+        if tel is None:
+            return self._forward(x, None)
+        with tel.span(f"layer_fwd:{self.layer_key}"):
+            tel.count("mvm.forward")
+            return self._forward(x, tel)
+
+    def _forward(self, x: Tensor, tel) -> Tensor:
         grad_on = is_grad_enabled()
         cols, oh, ow = F.im2col(
             x.data, self.kernel_size, self.kernel_size, self.stride, self.padding
@@ -200,6 +225,15 @@ class Conv2d(Module):
                 dcols = gy @ w_bwd
                 x.accumulate_grad(F.col2im(dcols, x_shape, ks, ks, st, pd))
 
+        if tel is not None:
+            key = self.layer_key
+            inner_bwd = bwd
+
+            def bwd(grad: np.ndarray) -> None:
+                with tel.span(f"layer_bwd:{key}"):
+                    tel.count("mvm.backward")
+                    inner_bwd(grad)
+
         return Tensor(out_data, parents=(x,), backward=bwd)
 
 
@@ -228,6 +262,14 @@ class Linear(Module):
         return (self.out_features, self.in_features)
 
     def forward(self, x: Tensor) -> Tensor:
+        tel = _profile_sink(self.engine)
+        if tel is None:
+            return self._forward(x, None)
+        with tel.span(f"layer_fwd:{self.layer_key}"):
+            tel.count("mvm.forward")
+            return self._forward(x, tel)
+
+    def _forward(self, x: Tensor, tel) -> Tensor:
         if x.ndim != 2:
             raise ValueError("Linear expects (N, features) input; Flatten first")
         grad_on = is_grad_enabled()
@@ -254,6 +296,15 @@ class Linear(Module):
                 bias.grad += grad.sum(axis=0)
             if x.requires_grad:
                 x.accumulate_grad(grad @ w_bwd)
+
+        if tel is not None:
+            key = self.layer_key
+            inner_bwd = bwd
+
+            def bwd(grad: np.ndarray) -> None:
+                with tel.span(f"layer_bwd:{key}"):
+                    tel.count("mvm.backward")
+                    inner_bwd(grad)
 
         return Tensor(out_data, parents=(x,), backward=bwd)
 

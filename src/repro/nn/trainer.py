@@ -9,6 +9,7 @@ epoch, before the weights are updated for the next" schedule.
 from __future__ import annotations
 
 import contextlib
+import time
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -21,7 +22,6 @@ from repro.nn.tensor import Tensor, no_grad
 from repro.nn.data import SyntheticDataset
 from repro.telemetry import Telemetry, null_telemetry
 from repro.utils.config import TrainConfig
-from repro.utils.logging import RunLogger
 
 __all__ = ["Trainer", "TrainResult"]
 
@@ -47,14 +47,12 @@ class Trainer:
         dataset: SyntheticDataset,
         config: TrainConfig,
         rng: np.random.Generator | None = None,
-        logger: RunLogger | None = None,
         telemetry: Telemetry | None = None,
     ):
         self.model = model
         self.dataset = dataset
         self.config = config
         self.rng = rng or np.random.default_rng(config.seed)
-        self.logger = logger
         self.telemetry = telemetry if telemetry is not None else null_telemetry()
         #: called after every optimiser step (the crossbar engine hooks
         #: its in-situ range clipping here).
@@ -77,7 +75,13 @@ class Trainer:
         x, y = self.dataset.x_train, self.dataset.y_train
         order = self.rng.permutation(len(y))
         losses: list[float] = []
+        tel = self.telemetry
+        # Per-step timing is profiling-only: one perf_counter pair plus a
+        # histogram observe per *batch* is cheap, but the hot-loop
+        # discipline says the default path adds nothing at all.
+        profiling = tel.enabled and tel.profile
         for start in range(0, len(y), cfg.batch_size):
+            t_step = time.perf_counter() if profiling else 0.0
             idx = order[start : start + cfg.batch_size]
             xb = Tensor(x[idx], requires_grad=True)
             logits = self.model(xb)
@@ -88,6 +92,8 @@ class Trainer:
             if self.post_step is not None:
                 self.post_step()
             losses.append(float(loss.data))
+            if profiling:
+                tel.observe("train.step_seconds", time.perf_counter() - t_step)
         return float(np.mean(losses))
 
     def evaluate(self, x: np.ndarray | None = None, y: np.ndarray | None = None) -> float:
@@ -132,8 +138,10 @@ class Trainer:
         result = TrainResult()
         tel = self.telemetry
         for epoch in range(self.config.epochs):
+            t_epoch = time.perf_counter()
             with tel.span("train_epoch", epoch=epoch):
                 loss = self.train_epoch(epoch)
+            tel.observe("train.epoch_seconds", time.perf_counter() - t_epoch)
             if on_epoch_end is not None:
                 on_epoch_end(epoch, self)
             with tel.span("evaluate", epoch=epoch):
@@ -143,8 +151,6 @@ class Trainer:
             )
             tel.event("epoch_done", epoch=epoch, loss=loss, test_acc=acc,
                       lr=self.optimizer.lr)
-            if self.logger is not None:
-                self.logger.event("epoch", epoch=epoch, loss=loss, test_acc=acc)
         if result.history:
             # Smooth over the last two epochs: small-model training on a
             # hard task is twitchy, and a single-epoch snapshot is noisy.

@@ -73,6 +73,11 @@ class LinkStats:
         )
         telemetry.count("noc.flit_hops", self.total_flit_hops)
         telemetry.count("noc.cycles", self.cycles)
+        # Per-link load distribution: the utilisation *spread* is the
+        # parallelism argument, so the histogram keeps every link's count
+        # (not just the busiest) without one event per link.
+        for load in self.loads.values():
+            telemetry.observe("noc.link_flits", load)
 
     def parallelism(self) -> float:
         """Average concurrently-busy links per cycle (>1 = parallel).

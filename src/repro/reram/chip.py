@@ -16,6 +16,7 @@ from repro.reram.crossbar import Crossbar, CrossbarPair
 from repro.reram.ima import IMA
 from repro.reram.mapping import LayerCopyMapping, blocks_needed
 from repro.reram.tile import Tile
+from repro.telemetry import null_telemetry
 from repro.utils.config import ChipConfig
 
 __all__ = ["Chip"]
@@ -33,6 +34,12 @@ class Chip:
         self.wear = WearTracker(len(self.crossbars))
         #: bumped on every fault injection / remap; caches key off it.
         self.fault_version = 0
+        #: instrumentation sink; the controller rebinds this to the run's
+        #: sink so remap operations land in the trace.  Defaults to the
+        #: shared disabled sink (standalone Chip uses stay silent).
+        self.telemetry = null_telemetry()
+        self.task_moves = 0
+        self.task_swaps = 0
         #: registered layer-copy mappings (the logical task placement).
         self.mappings: list[LayerCopyMapping] = []
         # Spare pairs (reserved, never allocated to tasks).
@@ -185,10 +192,24 @@ class Chip:
         Costs one programming write on the target pair's crossbars (the
         weights are copied over; the vacated pair is not rewritten).
         """
+        source_pair = int(mapping.pair_ids[block])
         mapping.set_pair(block[0], block[1], target_pair)
         touched = list(self.pairs[target_pair].crossbar_ids())
         self.wear.record(np.asarray(touched, dtype=np.int64), 1)
         self.bump_fault_version()
+        self.task_moves += 1
+        self.telemetry.event(
+            "task_moved",
+            task=mapping.name,
+            phase=mapping.phase,
+            block=[int(block[0]), int(block[1])],
+            source_pair=source_pair,
+            target_pair=int(target_pair),
+            hops=self.hop_count(
+                self.tile_of_pair(source_pair), self.tile_of_pair(target_pair)
+            ),
+        )
+        self.telemetry.count("chip.task_moves")
 
     # ------------------------------------------------------------------ #
     # training-side bookkeeping
@@ -221,6 +242,16 @@ class Chip:
         )
         self.wear.record(np.asarray(touched, dtype=np.int64), 1)
         self.bump_fault_version()
+        self.task_swaps += 1
+        self.telemetry.event(
+            "task_swapped",
+            task_a=mapping_a.name,
+            task_b=mapping_b.name,
+            pair_a=pa,
+            pair_b=pb,
+            hops=self.hop_count(self.tile_of_pair(pa), self.tile_of_pair(pb)),
+        )
+        self.telemetry.count("chip.task_swaps")
 
     # ------------------------------------------------------------------ #
     # densities

@@ -1,4 +1,4 @@
-"""Unified telemetry: structured events, counters and timing spans.
+"""Unified telemetry: events, counters, histograms and hierarchical spans.
 
 Every reporting surface of the simulator — the experiment controller, the
 trainer's epoch loop, the crossbar engine's effective-weight cache, the
@@ -10,27 +10,51 @@ emits into one :class:`Telemetry` sink instead of hand-rolled dicts and
   "payload": dict}``; serialise to JSONL with :meth:`Telemetry.dump_jsonl`;
 * **counters** — named integers bumped with :meth:`Telemetry.count`
   (plain ``dict`` adds, cheap enough for per-epoch accounting);
+* **histograms** — named log-bucket distributions fed with
+  :meth:`Telemetry.observe` (remap latency, BIST scan time, epoch step
+  time, NoC link load); ``summary()`` reports ``p50/p90/p99/max``
+  (:mod:`repro.telemetry.metrics`);
 * **spans** — ``with telemetry.span("train_epoch", epoch=3):`` times a
-  region, aggregates per-name ``{count, seconds}`` and appends a ``span``
-  event on exit.
+  region, aggregates per-name ``{count, seconds, min, max}`` and appends
+  a ``span`` event on exit.
+
+Hierarchical tracing
+--------------------
+Spans nest: every span gets a per-sink ``span_id`` and the ``parent_id``
+of the innermost enclosing span (tracked through a ``contextvars`` stack,
+so generators and callbacks inherit the right parent).  The span event
+also carries its ``start`` offset, which makes the event list a complete
+trace: :func:`repro.telemetry.trace.build_span_tree` reconstructs the
+``train_epoch > layer_fwd:conv1 > mvm_recompute`` tree with self/total
+times, and :func:`repro.telemetry.trace.export_chrome_trace` converts it
+to Chrome trace-event JSON loadable in Perfetto / ``chrome://tracing``.
 
 Hot-path discipline
 -------------------
 The per-MVM fast path (``CrossbarEngine.forward_weight`` cache hits) emits
 *nothing*: the engine keeps its hit/miss/recompute statistics as plain
-``int`` attributes and publishes them into the sink once per run.  Per-
-recompute events exist behind the opt-in :attr:`Telemetry.detail` flag and
-fire only on the (already expensive) cache-miss path.  The
-``bench_hotpath`` telemetry gate asserts the cache-hit MVM cost moves
-< 3% with a sink attached.
+``int`` attributes and publishes them into the sink once per run.  Two
+opt-in flags unlock deeper instrumentation:
+
+* :attr:`Telemetry.detail` — per-recompute events on the (already
+  expensive) cache-miss path;
+* :attr:`Telemetry.profile` — per-layer forward/backward spans, MVM
+  counters and per-step timing through :mod:`repro.nn`; off by default
+  because a span per layer per batch is real work.
+
+The ``bench_hotpath`` telemetry gate asserts the cache-hit MVM cost moves
+< 3% with a sink attached and both flags off (it also reports the
+measured cost with ``profile`` *on*).
 
 Cross-process merge
 -------------------
 Worker processes (``repro.runner``) cannot share a sink; each builds its
 own, serialises it with :meth:`Telemetry.snapshot` (plain dicts — pickles
 under ``fork`` *and* ``spawn``) and the parent folds the snapshots back in
-with :meth:`Telemetry.merge`.  Counters and span aggregates add; events
-concatenate, optionally tagged with the originating cell.
+with :meth:`Telemetry.merge`.  Counters, span aggregates and histograms
+add; events concatenate, optionally tagged with the originating cell.
+Span ids are unique per sink, so merged events stay internally consistent
+*per tag* — consumers key span instances on ``(cell_tag, span_id)``.
 
 Runner resilience events
 ------------------------
@@ -49,17 +73,30 @@ process, so these cannot ride on worker snapshots):
 
 from __future__ import annotations
 
+import contextvars
 import json
 import sys
 import time
 from contextlib import contextmanager
 from typing import Any, IO, Iterator
 
-__all__ = ["Telemetry", "null_telemetry", "NULL_TELEMETRY"]
+from repro.telemetry.metrics import Histogram
+
+__all__ = ["Telemetry", "Histogram", "null_telemetry", "NULL_TELEMETRY"]
+
+#: kind of the trailing aggregate record a JSONL trace ends with.
+SUMMARY_KIND = "telemetry_summary"
+
+#: ambient stack of open spans: ``(sink_marker, span_id)`` frames.  A
+#: contextvar (not a sink attribute) so nested generators, callbacks and
+#: ``asyncio`` tasks each see the parent chain of *their* call context.
+_SPAN_STACK: contextvars.ContextVar[tuple] = contextvars.ContextVar(
+    "repro_telemetry_span_stack", default=()
+)
 
 
 class Telemetry:
-    """Per-run sink for events, counters and timing spans.
+    """Per-run sink for events, counters, histograms and timing spans.
 
     >>> tel = Telemetry(echo=False)
     >>> tel.count("remaps", 3)
@@ -67,9 +104,13 @@ class Telemetry:
     >>> tel.events[0]["kind"], tel.events[0]["payload"]
     ('bist_scan', {'epoch': 0})
     >>> with tel.span("train_epoch", epoch=0):
-    ...     pass
+    ...     with tel.span("evaluate"):
+    ...         pass
     >>> tel.spans["train_epoch"]["count"]
     1
+    >>> inner = tel.filter("span")[0]["payload"]
+    >>> inner["name"], inner["parent_id"] is not None
+    ('evaluate', True)
     """
 
     def __init__(
@@ -84,11 +125,17 @@ class Telemetry:
         #: opt-in per-MVM instrumentation (recompute events on the cache
         #: miss path); keep False on hot-path runs.
         self.detail = False
+        #: opt-in profiling: per-layer fwd/bwd spans, MVM counters and
+        #: per-step timing in repro.nn.  Off by default (hot path).
+        self.profile = False
         self.events: list[dict[str, Any]] = []
         self.counters: dict[str, int] = {}
-        #: span name -> {"count": int, "seconds": float}.
+        #: span name -> {"count": int, "seconds", "min", "max": float}.
         self.spans: dict[str, dict[str, float]] = {}
+        #: histogram name -> :class:`Histogram` (fed via :meth:`observe`).
+        self.histograms: dict[str, Histogram] = {}
         self._t0 = time.perf_counter()
+        self._next_span_id = 0
 
     # ------------------------------------------------------------------ #
     # emission
@@ -113,21 +160,67 @@ class Telemetry:
             return
         self.counters[name] = self.counters.get(name, 0) + int(n)
 
-    @contextmanager
-    def span(self, name: str, **payload: Any) -> Iterator[None]:
-        """Time a region; aggregates per-name and appends a ``span`` event."""
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample into the named histogram (created on first use)."""
         if not self.enabled:
-            yield
             return
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        hist.observe(value)
+
+    @contextmanager
+    def span(self, name: str, **payload: Any) -> Iterator[int | None]:
+        """Time a region; aggregates per-name and appends a ``span`` event.
+
+        Spans nest: the emitted event carries this span's ``span_id``, the
+        ``parent_id`` of the innermost enclosing span *of this sink* (or
+        ``None`` at the root) and the ``start`` offset — enough to rebuild
+        the full tree from the event list alone.  Yields the span id.
+        """
+        if not self.enabled:
+            yield None
+            return
+        span_id = self._next_span_id
+        self._next_span_id += 1
+        stack = _SPAN_STACK.get()
+        parent_id = None
+        marker = id(self)
+        for frame_marker, frame_id in reversed(stack):
+            # Skip frames opened by other sinks (e.g. a per-cell child
+            # sink nested inside a CLI invocation sink): a foreign parent
+            # id would corrupt this sink's tree.
+            if frame_marker == marker:
+                parent_id = frame_id
+                break
+        token = _SPAN_STACK.set(stack + ((marker, span_id),))
         t0 = time.perf_counter()
         try:
-            yield
+            yield span_id
         finally:
+            _SPAN_STACK.reset(token)
             seconds = time.perf_counter() - t0
-            agg = self.spans.setdefault(name, {"count": 0, "seconds": 0.0})
+            agg = self.spans.get(name)
+            if agg is None:
+                agg = self.spans[name] = {
+                    "count": 0, "seconds": 0.0,
+                    "min": float("inf"), "max": 0.0,
+                }
             agg["count"] += 1
             agg["seconds"] += seconds
-            self.event("span", name=name, seconds=round(seconds, 6), **payload)
+            if seconds < agg["min"]:
+                agg["min"] = seconds
+            if seconds > agg["max"]:
+                agg["max"] = seconds
+            self.event(
+                "span",
+                name=name,
+                seconds=round(seconds, 6),
+                start=round(t0 - self._t0, 6),
+                span_id=span_id,
+                parent_id=parent_id,
+                **payload,
+            )
 
     # ------------------------------------------------------------------ #
     # inspection and serialisation
@@ -137,25 +230,45 @@ class Telemetry:
         return [e for e in self.events if e["kind"] == kind]
 
     def summary(self) -> dict[str, Any]:
-        """Aggregate view: counters, span totals and per-kind event counts."""
+        """Aggregate view: counters, spans, histograms, per-kind counts."""
         by_kind: dict[str, int] = {}
         for e in self.events:
             by_kind[e["kind"]] = by_kind.get(e["kind"], 0) + 1
         return {
             "counters": dict(self.counters),
             "spans": {k: dict(v) for k, v in self.spans.items()},
+            "histograms": {k: h.summary() for k, h in self.histograms.items()},
             "events_by_kind": by_kind,
             "num_events": len(self.events),
         }
 
-    def write_jsonl(self, fh: IO[str]) -> None:
+    def write_jsonl(self, fh: IO[str], summary: bool = True) -> None:
+        """Write the trace as JSONL; ends with one aggregate record.
+
+        The trailing record (``kind = "telemetry_summary"``) carries the
+        counters, span aggregates and histogram snapshots that pure event
+        replay cannot reconstruct — ``repro report`` reads percentiles
+        from it.  Pass ``summary=False`` for an events-only stream.
+        """
         for record in self.events:
             fh.write(json.dumps(record, default=_json_default) + "\n")
+        if summary:
+            tail = {
+                "ts": round(time.perf_counter() - self._t0, 6),
+                "kind": SUMMARY_KIND,
+                "payload": {
+                    **self.summary(),
+                    "histogram_snapshots": {
+                        k: h.snapshot() for k, h in self.histograms.items()
+                    },
+                },
+            }
+            fh.write(json.dumps(tail, default=_json_default) + "\n")
 
-    def dump_jsonl(self, path: str) -> None:
-        """Write every event as one JSON object per line."""
+    def dump_jsonl(self, path: str, summary: bool = True) -> None:
+        """Write every event as one JSON object per line (plus summary)."""
         with open(path, "w", encoding="utf-8") as fh:
-            self.write_jsonl(fh)
+            self.write_jsonl(fh, summary=summary)
 
     # ------------------------------------------------------------------ #
     # cross-process merge
@@ -166,6 +279,7 @@ class Telemetry:
             "events": [dict(e) for e in self.events],
             "counters": dict(self.counters),
             "spans": {k: dict(v) for k, v in self.spans.items()},
+            "histograms": {k: h.snapshot() for k, h in self.histograms.items()},
         }
 
     def merge(
@@ -173,11 +287,13 @@ class Telemetry:
     ) -> None:
         """Fold another sink (or its snapshot) into this one.
 
-        Counters and span aggregates add; events append in the other
-        sink's order, each stamped with ``"cell": tag`` when a tag is
-        given (the runner tags by cell key).
+        Counters, span aggregates and histograms add; events append in
+        the other sink's order, each stamped with ``"cell": tag`` when a
+        tag is given (the runner tags by cell key).  A disabled sink —
+        notably the shared :data:`NULL_TELEMETRY` — ignores merges, like
+        every other mutator.
         """
-        if other is None:
+        if not self.enabled or other is None:
             return
         snap = other.snapshot() if isinstance(other, Telemetry) else other
         for record in snap.get("events", ()):
@@ -187,9 +303,29 @@ class Telemetry:
         for name, n in snap.get("counters", {}).items():
             self.counters[name] = self.counters.get(name, 0) + int(n)
         for name, agg in snap.get("spans", {}).items():
-            mine = self.spans.setdefault(name, {"count": 0, "seconds": 0.0})
+            mine = self.spans.get(name)
+            if mine is None:
+                mine = self.spans[name] = {
+                    "count": 0, "seconds": 0.0,
+                    "min": float("inf"), "max": 0.0,
+                }
             mine["count"] += agg["count"]
             mine["seconds"] += agg["seconds"]
+            # Pre-min/max snapshots (old checkpoints) fall back to the
+            # mean so a resumed sweep never reports an infinite minimum.
+            fallback = agg["seconds"] / max(agg["count"], 1)
+            lo = agg.get("min", fallback)
+            hi = agg.get("max", fallback)
+            if lo < mine["min"]:
+                mine["min"] = lo
+            if hi > mine["max"]:
+                mine["max"] = hi
+        for name, snap_h in snap.get("histograms", {}).items():
+            mine_h = self.histograms.get(name)
+            if mine_h is None:
+                self.histograms[name] = Histogram.from_snapshot(snap_h)
+            else:
+                mine_h.merge(snap_h)
 
 
 #: shared disabled sink: every emission is a cheap no-op.  Hand this to

@@ -1,0 +1,111 @@
+"""Crossbar health monitoring: periodic chip-degradation samples.
+
+The paper's story is a chip that *degrades while it trains*: endurance
+faults accumulate, BIST notices, Remap-D moves tasks away, and quarantined
+(unoccupied) faulty crossbars pile up.  A single end-of-run density number
+cannot replay that; this module emits periodic ``health_sample`` events so
+a trace carries the whole timeline.
+
+One sample captures, chip-wide and per tile:
+
+* ``cells`` / ``faulty`` / ``sa0`` / ``sa1`` — device inventory and the
+  stuck-at breakdown (:class:`~repro.faults.types.FaultMap` codes);
+* ``density`` — faulty fraction (the quantity BIST estimates);
+* ``quarantined`` — faulty cells on pairs that currently host **no**
+  task: faults that remapping (or allocation headroom) has taken out of
+  service, the visible benefit of Remap-D;
+* ``active_faulty`` — faulty cells still under live tasks (the residual
+  damage actually perturbing training).
+
+``health_sample`` event schema::
+
+    {"epoch": int, "cells": int, "faulty": int, "sa0": int, "sa1": int,
+     "mean_density": float, "max_tile_density": float,
+     "quarantined": int, "active_faulty": int, "remaps_to_date": int,
+     "tiles": [{"tile": int, "cells": int, "faulty": int, "sa0": int,
+                "sa1": int, "density": float, "quarantined": int}, ...]}
+
+The remap timeline itself rides on the chip's own ``task_moved`` /
+``task_swapped`` events (:meth:`repro.reram.chip.Chip.move_task` /
+``swap_tasks``); ``repro report`` combines both into the degradation
+dashboard.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.faults.types import FaultType
+from repro.telemetry import Telemetry
+
+__all__ = ["chip_health", "sample_health"]
+
+
+def chip_health(chip) -> dict[str, Any]:
+    """Measure the chip's current fault state (no telemetry emission).
+
+    Ground-truth accounting for analysis and the ``health_sample`` event —
+    the *policies* still only ever see BIST estimates.
+    """
+    occupied: set[int] = set()
+    for mapping in chip.mappings:
+        occupied.update(int(p) for p in mapping.pair_ids.ravel())
+
+    tiles: dict[int, dict[str, Any]] = {}
+    for pair in chip.pairs:
+        tile = tiles.get(pair.tile_id)
+        if tile is None:
+            tile = tiles[pair.tile_id] = {
+                "tile": pair.tile_id, "cells": 0, "faulty": 0,
+                "sa0": 0, "sa1": 0, "quarantined": 0,
+            }
+        idle = pair.pair_id not in occupied
+        for xb in (pair.pos, pair.neg):
+            fmap = xb.fault_map
+            sa0 = fmap.count(FaultType.SA0)
+            sa1 = fmap.count(FaultType.SA1)
+            tile["cells"] += fmap.cells
+            tile["sa0"] += sa0
+            tile["sa1"] += sa1
+            tile["faulty"] += sa0 + sa1
+            if idle:
+                tile["quarantined"] += sa0 + sa1
+    tile_rows = [tiles[t] for t in sorted(tiles)]
+    for row in tile_rows:
+        row["density"] = row["faulty"] / row["cells"] if row["cells"] else 0.0
+    cells = sum(t["cells"] for t in tile_rows)
+    faulty = sum(t["faulty"] for t in tile_rows)
+    quarantined = sum(t["quarantined"] for t in tile_rows)
+    return {
+        "cells": cells,
+        "faulty": faulty,
+        "sa0": sum(t["sa0"] for t in tile_rows),
+        "sa1": sum(t["sa1"] for t in tile_rows),
+        "mean_density": faulty / cells if cells else 0.0,
+        "max_tile_density": max((t["density"] for t in tile_rows), default=0.0),
+        "quarantined": quarantined,
+        "active_faulty": faulty - quarantined,
+        "tiles": tile_rows,
+    }
+
+
+def sample_health(
+    chip, telemetry: Telemetry, epoch: int, **extra: Any
+) -> dict[str, Any]:
+    """Emit one ``health_sample`` event for the chip's current state.
+
+    ``remaps_to_date`` is read from the sink's ``remaps`` counter so the
+    sample correlates degradation with the policy's reaction.  Returns
+    the measured health dict (also useful without a live sink).
+    """
+    health = chip_health(chip)
+    telemetry.event(
+        "health_sample",
+        epoch=epoch,
+        remaps_to_date=telemetry.counters.get("remaps", 0),
+        **health,
+        **extra,
+    )
+    telemetry.observe("health.tile_density",
+                      health["max_tile_density"])
+    return health

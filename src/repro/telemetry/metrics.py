@@ -1,0 +1,200 @@
+"""Distribution metrics: fixed log-spaced bucket histograms.
+
+Counters answer "how many"; spans answer "how long in total".  Neither
+answers "what is the p99" — the question the paper's overhead budget
+(Table 1) and the remap-latency claims actually pose.  :class:`Histogram`
+fills that gap with the same constraints as the rest of the telemetry
+layer:
+
+* **zero-dependency** — plain Python lists and ``math``, no numpy;
+* **picklable** — the state is a handful of ints/floats and a count
+  list, so snapshots ride across ``fork`` *and* ``spawn`` workers;
+* **mergeable and order-independent** — bucket counts, totals and
+  min/max all combine commutatively, so the runner's submission-order
+  merge yields the same aggregate as any other order (serial == fork ==
+  spawn).
+
+Buckets are log-spaced between ``lo`` and ``hi`` with
+``buckets_per_decade`` buckets per factor of 10, plus explicit underflow
+and overflow buckets.  Log spacing keeps relative error bounded across
+the ~12 decades the sink sees (sub-microsecond MVMs to hundred-second
+sweeps, single-flit links to mega-flit hotspots) at a fixed, tiny memory
+cost.  Percentiles are estimated from the bucket the rank falls in
+(geometric midpoint, clamped to the observed min/max); ``max`` and
+``min`` are exact.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+__all__ = ["Histogram"]
+
+#: default range: 100 ns .. 100 ks for latencies, and wide enough for
+#: flit counts and byte sizes too.
+_DEFAULT_LO = 1e-7
+_DEFAULT_HI = 1e5
+_DEFAULT_BPD = 6
+
+
+class Histogram:
+    """Fixed log-spaced bucket histogram with exact count/sum/min/max.
+
+    >>> h = Histogram()
+    >>> for v in (0.001, 0.002, 0.004, 0.1):
+    ...     h.observe(v)
+    >>> h.count, round(h.max, 3)
+    (4, 0.1)
+    >>> 0.001 <= h.percentile(0.5) <= 0.004
+    True
+    """
+
+    __slots__ = (
+        "lo", "hi", "buckets_per_decade", "num_buckets",
+        "counts", "count", "total", "min", "max",
+    )
+
+    def __init__(
+        self,
+        lo: float = _DEFAULT_LO,
+        hi: float = _DEFAULT_HI,
+        buckets_per_decade: int = _DEFAULT_BPD,
+    ):
+        if lo <= 0.0 or hi <= lo:
+            raise ValueError("need 0 < lo < hi for log-spaced buckets")
+        if buckets_per_decade < 1:
+            raise ValueError("buckets_per_decade must be positive")
+        self.lo = float(lo)
+        self.hi = float(hi)
+        self.buckets_per_decade = int(buckets_per_decade)
+        self.num_buckets = max(
+            1, int(round(math.log10(self.hi / self.lo) * buckets_per_decade))
+        )
+        #: counts[0] = underflow (< lo), counts[-1] = overflow (>= hi).
+        self.counts = [0] * (self.num_buckets + 2)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    # ------------------------------------------------------------------ #
+    # recording
+    # ------------------------------------------------------------------ #
+    def observe(self, value: float) -> None:
+        """Record one sample (non-positive values land in underflow)."""
+        v = float(value)
+        self.counts[self._bucket_index(v)] += 1
+        self.count += 1
+        self.total += v
+        if v < self.min:
+            self.min = v
+        if v > self.max:
+            self.max = v
+
+    def _bucket_index(self, v: float) -> int:
+        if not v > 0.0 or v < self.lo:
+            return 0
+        if v >= self.hi:
+            return self.num_buckets + 1
+        idx = 1 + int(math.log10(v / self.lo) * self.buckets_per_decade)
+        # Guard float rounding at the bucket edges.
+        return min(max(idx, 1), self.num_buckets)
+
+    def bucket_bounds(self, index: int) -> tuple[float, float]:
+        """(lower, upper) value bounds of one regular bucket (1-based)."""
+        if not (1 <= index <= self.num_buckets):
+            raise IndexError(f"bucket index {index} out of range")
+        lo = self.lo * 10.0 ** ((index - 1) / self.buckets_per_decade)
+        hi = self.lo * 10.0 ** (index / self.buckets_per_decade)
+        return lo, hi
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def percentile(self, q: float) -> float:
+        """Estimated q-quantile (q in [0, 1]); exact at the extremes."""
+        if not (0.0 <= q <= 1.0):
+            raise ValueError("q must lie in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = max(1, math.ceil(q * self.count))
+        cum = 0
+        for i, c in enumerate(self.counts):
+            cum += c
+            if cum >= target:
+                if i == 0:
+                    return self.min
+                if i == self.num_buckets + 1:
+                    return self.max
+                b_lo, b_hi = self.bucket_bounds(i)
+                mid = math.sqrt(b_lo * b_hi)
+                return min(max(mid, self.min), self.max)
+        return self.max  # pragma: no cover - cum always reaches count
+
+    def summary(self) -> dict[str, float]:
+        """p50/p90/p99 plus exact count/sum/mean/min/max (JSON-safe)."""
+        if self.count == 0:
+            return {"count": 0, "sum": 0.0, "mean": 0.0, "min": 0.0,
+                    "max": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.total / self.count,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(0.50),
+            "p90": self.percentile(0.90),
+            "p99": self.percentile(0.99),
+        }
+
+    # ------------------------------------------------------------------ #
+    # cross-process merge
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> dict[str, Any]:
+        """Picklable, JSON-safe plain-dict copy of the full state."""
+        return {
+            "lo": self.lo,
+            "hi": self.hi,
+            "buckets_per_decade": self.buckets_per_decade,
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
+    @classmethod
+    def from_snapshot(cls, snap: dict[str, Any]) -> "Histogram":
+        h = cls(snap["lo"], snap["hi"], snap["buckets_per_decade"])
+        h.merge(snap)
+        return h
+
+    def merge(self, other: "Histogram | dict[str, Any]") -> None:
+        """Fold another histogram (or its snapshot) into this one.
+
+        Pure addition of bucket counts/totals plus min/max folds, so
+        merging is commutative and associative — the aggregate is
+        independent of merge order.
+        """
+        snap = other.snapshot() if isinstance(other, Histogram) else other
+        if (snap["lo"], snap["hi"], snap["buckets_per_decade"]) != (
+            self.lo, self.hi, self.buckets_per_decade
+        ):
+            raise ValueError(
+                "cannot merge histograms with different bucket layouts"
+            )
+        for i, c in enumerate(snap["counts"]):
+            self.counts[i] += int(c)
+        self.count += int(snap["count"])
+        self.total += float(snap["sum"])
+        if snap["min"] is not None and snap["min"] < self.min:
+            self.min = float(snap["min"])
+        if snap["max"] is not None and snap["max"] > self.max:
+            self.max = float(snap["max"])
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram(count={self.count}, min={self.min if self.count else None}, "
+            f"max={self.max if self.count else None})"
+        )

@@ -1,0 +1,241 @@
+"""The ``repro report`` dashboard: render a trace as human-facing tables.
+
+Consumes either a ``--trace`` JSONL file (:func:`load_trace`) or a live
+:class:`~repro.telemetry.Telemetry` sink (:func:`report_from_telemetry`)
+and produces:
+
+* a **span tree** — hierarchical timing with per-node count, total and
+  *self* time (total minus children), the "which layer's backward pass
+  dominates an epoch" view;
+* **histogram percentile tables** — p50/p90/p99/max for remap latency,
+  BIST scan time, epoch time, NoC link load, ...;
+* a **health timeline** — per-epoch chip degradation (mean density,
+  quarantined cells, remap activity) as sparklines plus the final
+  per-tile breakdown;
+* **counter totals** and per-kind event counts.
+
+``build_report`` returns the machine-readable dict written to
+``report.json``; ``render_report`` turns it into the terminal dashboard
+using the same :mod:`repro.utils.tabulate` / :mod:`repro.utils.charts`
+helpers as every other CLI surface.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.telemetry import SUMMARY_KIND, Telemetry
+from repro.telemetry.trace import build_span_tree
+from repro.utils.charts import render_sparkline
+from repro.utils.tabulate import render_table
+
+__all__ = [
+    "load_trace",
+    "build_report",
+    "report_from_telemetry",
+    "render_report",
+]
+
+
+def load_trace(path: str) -> tuple[list[dict[str, Any]], dict[str, Any]]:
+    """Read a telemetry JSONL trace; returns ``(events, summary)``.
+
+    The trailing ``telemetry_summary`` record (written by
+    ``Telemetry.dump_jsonl``) is split off and returned as the summary;
+    traces without one (events-only streams, truncated files) yield an
+    empty summary — the report then degrades to event-derivable sections.
+    Malformed lines are skipped, not fatal: a trace cut short by a crash
+    should still render.
+    """
+    events: list[dict[str, Any]] = []
+    summary: dict[str, Any] = {}
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if not isinstance(record, dict) or "kind" not in record:
+                continue
+            if record["kind"] == SUMMARY_KIND:
+                summary = record.get("payload", {}) or {}
+            else:
+                events.append(record)
+    return events, summary
+
+
+def _health_timeline(events: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    rows = []
+    for e in events:
+        if e.get("kind") != "health_sample":
+            continue
+        p = e.get("payload", {})
+        rows.append({
+            "epoch": p.get("epoch"),
+            "cell": e.get("cell"),
+            "mean_density": float(p.get("mean_density", 0.0)),
+            "max_tile_density": float(p.get("max_tile_density", 0.0)),
+            "faulty": int(p.get("faulty", 0)),
+            "quarantined": int(p.get("quarantined", 0)),
+            "active_faulty": int(p.get("active_faulty", 0)),
+            "remaps_to_date": int(p.get("remaps_to_date", 0)),
+            "tiles": p.get("tiles", []),
+        })
+    return rows
+
+
+def _remap_timeline(events: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    rows = []
+    for e in events:
+        if e.get("kind") != "remap_planned":
+            continue
+        p = e.get("payload", {})
+        rows.append({
+            "epoch": p.get("epoch"),
+            "num_remaps": int(p.get("num_remaps", 0)),
+            "senders": int(p.get("senders", 0)),
+        })
+    return rows
+
+
+def build_report(
+    events: list[dict[str, Any]], summary: dict[str, Any] | None = None
+) -> dict[str, Any]:
+    """Assemble the machine-readable report dict (the ``report.json``)."""
+    summary = summary or {}
+    tree = build_span_tree(events)
+    by_kind: dict[str, int] = {}
+    for e in events:
+        kind = str(e.get("kind"))
+        by_kind[kind] = by_kind.get(kind, 0) + 1
+    return {
+        "num_events": len(events),
+        "events_by_kind": by_kind,
+        "span_tree": [c.to_dict() for c in tree.sorted_children()],
+        "spans": summary.get("spans", {}),
+        "histograms": summary.get("histograms", {}),
+        "counters": summary.get("counters", {}),
+        "health_timeline": _health_timeline(events),
+        "remap_timeline": _remap_timeline(events),
+    }
+
+
+def report_from_telemetry(tel: Telemetry) -> dict[str, Any]:
+    """Build the report directly from a live (just-finished) sink."""
+    return build_report(list(tel.events), tel.summary())
+
+
+# --------------------------------------------------------------------- #
+# rendering
+# --------------------------------------------------------------------- #
+def _fmt_s(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds * 1e6:.0f}us"
+
+
+def _tree_rows(nodes: list[dict[str, Any]], depth: int = 0,
+               out: list[list] | None = None) -> list[list]:
+    rows = out if out is not None else []
+    for node in nodes:
+        rows.append([
+            "  " * depth + node["name"],
+            node["count"],
+            _fmt_s(node["total_seconds"]),
+            _fmt_s(node["self_seconds"]),
+            _fmt_s(node["min_seconds"]),
+            _fmt_s(node["max_seconds"]),
+        ])
+        _tree_rows(node["children"], depth + 1, rows)
+    return rows
+
+
+def render_report(report: dict[str, Any]) -> str:
+    """Render the terminal dashboard from a :func:`build_report` dict."""
+    sections: list[str] = []
+
+    tree = report.get("span_tree") or []
+    if tree:
+        sections.append(render_table(
+            ["span", "count", "total", "self", "min", "max"],
+            _tree_rows(tree),
+            title="span tree (self = total - children)",
+        ))
+
+    hists = report.get("histograms") or {}
+    if hists:
+        rows = []
+        for name, h in sorted(hists.items()):
+            # Only *_seconds metrics carry time units; hops / flits /
+            # densities render as plain numbers.
+            fmt = _fmt_s if name.endswith("seconds") else "{:.4g}".format
+            rows.append([name, h["count"], fmt(h["p50"]), fmt(h["p90"]),
+                         fmt(h["p99"]), fmt(h["max"])])
+        sections.append(render_table(
+            ["histogram", "count", "p50", "p90", "p99", "max"],
+            rows,
+            title="latency / load distributions",
+        ))
+
+    health = report.get("health_timeline") or []
+    if health:
+        dens = [h["mean_density"] for h in health]
+        quar = [float(h["quarantined"]) for h in health]
+        remaps = [float(h["remaps_to_date"]) for h in health]
+        lines = [
+            "chip health timeline (one sample per epoch)",
+            f"  mean fault density  {render_sparkline(dens)}  "
+            f"{dens[0]:.4f} -> {dens[-1]:.4f}",
+            f"  quarantined cells   {render_sparkline(quar)}  "
+            f"{int(quar[0])} -> {int(quar[-1])}",
+            f"  remaps to date      {render_sparkline(remaps)}  "
+            f"{int(remaps[0])} -> {int(remaps[-1])}",
+        ]
+        final = health[-1]
+        if final.get("tiles"):
+            lines.append("")
+            lines.append(render_table(
+                ["tile", "cells", "faulty", "sa0", "sa1", "density",
+                 "quarantined"],
+                [[t["tile"], t["cells"], t["faulty"], t["sa0"], t["sa1"],
+                  f"{t['density']:.4%}", t["quarantined"]]
+                 for t in final["tiles"]],
+                title=f"per-tile health at the final sample "
+                      f"(epoch {final['epoch']})",
+            ))
+        sections.append("\n".join(lines))
+
+    remaps = report.get("remap_timeline") or []
+    if remaps:
+        counts = [float(r["num_remaps"]) for r in remaps]
+        sections.append(
+            "remaps per epoch        "
+            f"{render_sparkline(counts)}  total "
+            f"{int(sum(counts))} over {len(counts)} passes"
+        )
+
+    counters = report.get("counters") or {}
+    if counters:
+        sections.append(render_table(
+            ["counter", "total"],
+            [[k, v] for k, v in sorted(counters.items())],
+            title="counter totals",
+        ))
+
+    by_kind = report.get("events_by_kind") or {}
+    if by_kind:
+        sections.append(render_table(
+            ["event kind", "count"],
+            [[k, v] for k, v in sorted(by_kind.items())],
+            title=f"events ({report.get('num_events', 0)} total)",
+        ))
+
+    if not sections:
+        return "empty trace: nothing to report"
+    return "\n\n".join(sections)

@@ -1,0 +1,204 @@
+"""Hierarchical trace tools: span-tree reconstruction and Chrome export.
+
+A :class:`~repro.telemetry.Telemetry` event list is a complete trace:
+every ``span`` event carries ``span_id`` / ``parent_id`` / ``start`` /
+``seconds`` (see the package docstring).  This module turns that flat
+list into the two views the observability surface needs:
+
+* :func:`build_span_tree` — a nested aggregate tree ("which layer's
+  backward pass dominates an epoch"): span instances are grouped by their
+  *name path* from the root, with per-node count, total seconds and
+  **self** seconds (total minus the time attributed to child spans);
+* :func:`export_chrome_trace` — Chrome trace-event JSON (the
+  ``traceEvents`` format) loadable in Perfetto / ``chrome://tracing``:
+  spans become complete (``"ph": "X"``) duration events, all other
+  telemetry events become instant (``"ph": "i"``) markers, and merged
+  multi-cell traces map each cell tag to its own named thread row.
+
+Both consume plain event dicts, so they work on a live sink's
+``tel.events`` and on records re-read from a ``--trace`` JSONL file
+alike.  Events merged from worker sinks are distinguished by their
+``"cell"`` tag: span ids are unique per sink, so ``(cell, span_id)``
+keys an instance globally.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, IO
+
+__all__ = ["SpanNode", "build_span_tree", "export_chrome_trace"]
+
+
+class SpanNode:
+    """One aggregated node of the span tree (a unique name path)."""
+
+    __slots__ = ("name", "count", "total", "min", "max", "children")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+        self.children: dict[str, "SpanNode"] = {}
+
+    @property
+    def self_seconds(self) -> float:
+        """Time spent in this node itself, excluding child spans."""
+        return max(0.0, self.total - sum(c.total for c in self.children.values()))
+
+    def add(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        if seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    def sorted_children(self) -> list["SpanNode"]:
+        return sorted(self.children.values(), key=lambda n: -n.total)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict view (for ``report.json``)."""
+        return {
+            "name": self.name,
+            "count": self.count,
+            "total_seconds": self.total,
+            "self_seconds": self.self_seconds,
+            "min_seconds": self.min if self.count else 0.0,
+            "max_seconds": self.max if self.count else 0.0,
+            "children": [c.to_dict() for c in self.sorted_children()],
+        }
+
+
+def _span_instances(events: list[dict[str, Any]]) -> dict[tuple, dict]:
+    """(cell, span_id) -> span record; events without ids get synth keys."""
+    out: dict[tuple, dict] = {}
+    synth = 0
+    for e in events:
+        if e.get("kind") != "span":
+            continue
+        p = e.get("payload", {})
+        cell = e.get("cell")
+        span_id = p.get("span_id")
+        if span_id is None:  # legacy trace without hierarchy: flat root
+            span_id = f"synth-{synth}"
+            synth += 1
+        out[(cell, span_id)] = {
+            "name": str(p.get("name", "?")),
+            "parent": p.get("parent_id"),
+            "seconds": float(p.get("seconds", 0.0)),
+            "start": float(p.get("start", e.get("ts", 0.0))),
+            "cell": cell,
+        }
+    return out
+
+
+def build_span_tree(events: list[dict[str, Any]]) -> SpanNode:
+    """Aggregate all span events into one tree rooted at a synthetic node.
+
+    Instances sharing the same root-to-self *name path* fold into one
+    node (so the 8 ``train_epoch`` spans of a run are one node with
+    ``count == 8``, and their nested ``layer_fwd:conv1`` spans one child).
+    A span whose parent event is missing (still open at dump time, or a
+    truncated trace) is treated as a root.
+    """
+    instances = _span_instances(events)
+    paths: dict[tuple, tuple[str, ...]] = {}
+
+    def path_of(key: tuple) -> tuple[str, ...]:
+        cached = paths.get(key)
+        if cached is not None:
+            return cached
+        rec = instances[key]
+        parent_key = (rec["cell"], rec["parent"])
+        if rec["parent"] is None or parent_key not in instances:
+            path: tuple[str, ...] = (rec["name"],)
+        else:
+            # Guard against cycles from corrupt traces by marking the
+            # node as in-progress before recursing.
+            paths[key] = (rec["name"],)
+            path = path_of(parent_key) + (rec["name"],)
+        paths[key] = path
+        return path
+
+    root = SpanNode("")
+    for key, rec in instances.items():
+        node = root
+        for name in path_of(key):
+            child = node.children.get(name)
+            if child is None:
+                child = node.children[name] = SpanNode(name)
+            node = child
+        node.add(rec["seconds"])
+    # The synthetic root spans the whole trace.
+    root.count = 1
+    root.total = sum(c.total for c in root.children.values())
+    return root
+
+
+def export_chrome_trace(
+    events: list[dict[str, Any]],
+    destination: "str | IO[str] | None" = None,
+) -> dict[str, Any]:
+    """Convert telemetry events to Chrome trace-event JSON.
+
+    Returns the trace dict (``{"traceEvents": [...]}``); when
+    ``destination`` is a path or file object, it is also written there.
+    Spans map to complete ``"X"`` events (microsecond ``ts``/``dur``),
+    every other event to an instant ``"i"`` marker, and each distinct
+    cell tag to its own named thread so merged sweeps line up as
+    parallel rows in Perfetto.
+    """
+    cells: list[Any] = []
+    for e in events:
+        cell = e.get("cell")
+        if cell not in cells:
+            cells.append(cell)
+    tid_of = {cell: i for i, cell in enumerate(cells)}
+
+    trace: list[dict[str, Any]] = [
+        {"ph": "M", "pid": 0, "tid": 0, "name": "process_name",
+         "args": {"name": "repro"}},
+    ]
+    for cell, tid in tid_of.items():
+        trace.append({
+            "ph": "M", "pid": 0, "tid": tid, "name": "thread_name",
+            "args": {"name": "main" if cell is None else str(cell)},
+        })
+    for e in events:
+        kind = e.get("kind")
+        payload = dict(e.get("payload", {}))
+        tid = tid_of[e.get("cell")]
+        if kind == "span":
+            seconds = float(payload.pop("seconds", 0.0))
+            start = float(payload.pop("start", e.get("ts", 0.0) - seconds))
+            name = str(payload.pop("name", "span"))
+            trace.append({
+                "name": name,
+                "ph": "X",
+                "ts": round(start * 1e6, 3),
+                "dur": round(seconds * 1e6, 3),
+                "pid": 0,
+                "tid": tid,
+                "args": payload,
+            })
+        else:
+            trace.append({
+                "name": str(kind),
+                "ph": "i",
+                "s": "t",  # thread-scoped instant marker
+                "ts": round(float(e.get("ts", 0.0)) * 1e6, 3),
+                "pid": 0,
+                "tid": tid,
+                "args": payload,
+            })
+    doc = {"traceEvents": trace, "displayTimeUnit": "ms"}
+    if destination is not None:
+        if hasattr(destination, "write"):
+            json.dump(doc, destination, default=str)
+        else:
+            with open(destination, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh, default=str)
+    return doc

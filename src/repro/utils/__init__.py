@@ -1,4 +1,4 @@
-"""Shared utilities: seeded randomness, configuration, logging, tables."""
+"""Shared utilities: seeded randomness, configuration, tables, charts."""
 
 from repro.utils.rng import RngHub, derive_rng
 from repro.utils.config import (
@@ -8,9 +8,8 @@ from repro.utils.config import (
     TrainConfig,
     ExperimentConfig,
 )
-from repro.utils.logging import RunLogger
 from repro.utils.tabulate import render_table, render_series
-from repro.utils.charts import render_bars, render_grouped_bars
+from repro.utils.charts import render_bars, render_grouped_bars, render_sparkline
 
 __all__ = [
     "RngHub",
@@ -20,9 +19,9 @@ __all__ = [
     "FaultConfig",
     "TrainConfig",
     "ExperimentConfig",
-    "RunLogger",
     "render_table",
     "render_series",
     "render_bars",
     "render_grouped_bars",
+    "render_sparkline",
 ]

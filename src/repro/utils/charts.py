@@ -10,9 +10,10 @@ from __future__ import annotations
 
 from typing import Sequence
 
-__all__ = ["render_bars", "render_grouped_bars"]
+__all__ = ["render_bars", "render_grouped_bars", "render_sparkline"]
 
 _BAR = "#"
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
 
 
 def render_bars(
@@ -76,3 +77,28 @@ def render_grouped_bars(
             bar = (_BAR * filled).ljust(width)
             lines.append(f"  {name.ljust(name_w)} | {bar} {values[g]:.3f}")
     return "\n".join(lines)
+
+
+def render_sparkline(
+    values: Sequence[float],
+    vmax: float | None = None,
+    vmin: float = 0.0,
+) -> str:
+    """One-line block-character sparkline (timeline-at-a-glance).
+
+    Used by ``repro report`` for the per-epoch health and remap
+    timelines, where a full bar chart per sample would drown the
+    dashboard.
+
+    >>> render_sparkline([0.0, 0.5, 1.0])
+    '▁▅█'
+    """
+    if not values:
+        return ""
+    top = vmax if vmax is not None else max(max(values), vmin + 1e-12)
+    span = max(top - vmin, 1e-12)
+    chars = []
+    for v in values:
+        frac = (min(max(v, vmin), top) - vmin) / span
+        chars.append(_SPARK_LEVELS[round(frac * (len(_SPARK_LEVELS) - 1))])
+    return "".join(chars)

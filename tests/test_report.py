@@ -1,0 +1,177 @@
+"""`repro report` dashboard tests: a real traced run renders the span
+tree, percentile tables and health timeline, and the chip-health sampler
+accounts every fault exactly once."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.telemetry import Telemetry
+from repro.telemetry.health import chip_health, sample_health
+from repro.telemetry.report import build_report, load_trace, render_report
+from repro.utils.config import (
+    ChipConfig,
+    CrossbarConfig,
+    ExperimentConfig,
+    FaultConfig,
+    TrainConfig,
+)
+
+_RUN_ARGS = [
+    "run", "--model", "vgg11", "--policy", "remap-d",
+    "--epochs", "2", "--batch-size", "16", "--n-train", "48",
+    "--n-test", "32", "--crossbar-size", "32",
+    "--remap-threshold", "0.001", "--seed", "11", "--quiet",
+]
+
+
+def _tiny(policy: str = "remap-d") -> ExperimentConfig:
+    return ExperimentConfig(
+        train=TrainConfig(
+            model="vgg11", epochs=1, batch_size=16, n_train=32, n_test=32,
+            width_mult=0.125,
+        ),
+        chip=ChipConfig(crossbar=CrossbarConfig(rows=32, cols=32)),
+        faults=FaultConfig(),
+        policy=policy,
+        remap_threshold=0.001,
+        seed=11,
+    )
+
+
+@pytest.fixture(scope="module")
+def traced_run(tmp_path_factory):
+    """One profiled experiment traced to JSONL, reported to all outputs."""
+    root = tmp_path_factory.mktemp("report")
+    trace = root / "run.jsonl"
+    assert main(_RUN_ARGS + ["--profile", "--trace", str(trace)]) == 0
+    return root, trace
+
+
+class TestReportCommand:
+    def test_dashboard_renders_all_sections(self, traced_run, capsys):
+        root, trace = traced_run
+        rep_json = root / "report.json"
+        chrome = root / "chrome.json"
+        code = main(["report", str(trace), "--json", str(rep_json),
+                     "--chrome-trace", str(chrome)])
+        out = capsys.readouterr().out
+        assert code == 0
+        # span tree with hierarchy from the profiled run
+        assert "span tree" in out
+        assert "train_epoch" in out
+        assert "layer_fwd:" in out
+        # histogram percentile table
+        assert "p50" in out and "p99" in out
+        assert "train.epoch_seconds" in out
+        assert "bist.scan_seconds" in out
+        # health timeline + remap activity
+        assert "chip health timeline" in out
+        assert "mean fault density" in out
+        assert "remaps per epoch" in out
+        assert "counter totals" in out
+
+    def test_report_json_parses_and_carries_tree(self, traced_run, capsys):
+        root, trace = traced_run
+        rep_json = root / "parsed.json"
+        assert main(["report", str(trace), "--json", str(rep_json)]) == 0
+        capsys.readouterr()
+        with open(rep_json, "r", encoding="utf-8") as fh:
+            report = json.load(fh)
+        assert report["num_events"] > 0
+        roots = {n["name"] for n in report["span_tree"]}
+        assert {"build_experiment", "train"} <= roots
+        (train_node,) = [n for n in report["span_tree"]
+                         if n["name"] == "train"]
+        (epoch_node,) = [n for n in train_node["children"]
+                         if n["name"] == "train_epoch"]
+        child_names = {c["name"] for c in epoch_node["children"]}
+        assert any(name.startswith("layer_fwd:") for name in child_names)
+        assert epoch_node["self_seconds"] <= epoch_node["total_seconds"]
+        # 1 setup sample + 1 per epoch
+        assert len(report["health_timeline"]) == 3
+        assert report["health_timeline"][0]["epoch"] == -1
+        assert report["counters"]["mvm.forward"] > 0
+        assert report["counters"]["mvm.backward"] > 0
+
+    def test_chrome_trace_is_valid(self, traced_run, capsys):
+        root, trace = traced_run
+        chrome = root / "chrome2.json"
+        assert main(["report", str(trace), "--json", "",
+                     "--chrome-trace", str(chrome)]) == 0
+        capsys.readouterr()
+        with open(chrome, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        spans = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+        assert spans
+        assert all(e["dur"] >= 0 for e in spans)
+        names = {e["name"] for e in spans}
+        assert "train_epoch" in names and "bist_scan" in names
+
+    def test_load_trace_splits_summary(self, traced_run):
+        _, trace = traced_run
+        events, summary = load_trace(str(trace))
+        assert events and summary
+        assert all(e["kind"] != "telemetry_summary" for e in events)
+        assert summary["counters"]["bist_scans"] == 2
+        assert "train.epoch_seconds" in summary["histograms"]
+
+    def test_missing_trace_is_error(self, capsys):
+        assert main(["report", "/nonexistent/trace.jsonl"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_render_empty_report(self):
+        assert "empty trace" in render_report(build_report([], {}))
+
+
+class TestChipHealth:
+    @pytest.fixture(scope="class")
+    def ctx(self):
+        from repro.core.controller import build_experiment
+
+        return build_experiment(_tiny())
+
+    def test_totals_are_consistent(self, ctx):
+        health = chip_health(ctx.chip)
+        assert health["faulty"] == health["sa0"] + health["sa1"]
+        assert health["faulty"] == health["quarantined"] + health["active_faulty"]
+        assert health["cells"] == sum(t["cells"] for t in health["tiles"])
+        assert health["faulty"] == sum(t["faulty"] for t in health["tiles"])
+        assert health["mean_density"] == pytest.approx(
+            health["faulty"] / health["cells"]
+        )
+        assert health["max_tile_density"] == pytest.approx(
+            max(t["density"] for t in health["tiles"])
+        )
+
+    def test_ground_truth_matches_chip_density(self, ctx):
+        health = chip_health(ctx.chip)
+        true_mean = float(ctx.chip.true_crossbar_densities().mean())
+        assert health["mean_density"] == pytest.approx(true_mean)
+
+    def test_sample_emits_event_with_remap_counter(self, ctx):
+        tel = Telemetry(echo=False)
+        tel.count("remaps", 5)
+        health = sample_health(ctx.chip, tel, epoch=3, note="unit")
+        (event,) = tel.filter("health_sample")
+        assert event["payload"]["epoch"] == 3
+        assert event["payload"]["remaps_to_date"] == 5
+        assert event["payload"]["note"] == "unit"
+        assert event["payload"]["faulty"] == health["faulty"]
+        assert tel.histograms["health.tile_density"].count == 1
+
+
+class TestRemapEventsInTrace:
+    def test_moves_and_swaps_are_tagged(self, traced_run):
+        _, trace = traced_run
+        events, summary = load_trace(str(trace))
+        moved = [e for e in events
+                 if e["kind"] in ("task_moved", "task_swapped")]
+        if summary["counters"].get("remaps", 0):
+            assert moved
+            for e in moved:
+                assert e["payload"]["hops"] >= 0
+        total = (summary["counters"].get("chip.task_moves", 0)
+                 + summary["counters"].get("chip.task_swaps", 0))
+        assert total == len(moved)

@@ -45,13 +45,13 @@ def _cells() -> list[ExperimentCell]:
 def _tel_shape(snapshot):
     """Deterministic view of a telemetry snapshot: counters, event kinds
     and payloads, span counts — everything except wall-clock fields
-    (event ``ts`` and ``seconds``/``wall_seconds`` payloads), which
-    cannot repeat across separate executions."""
+    (event ``ts`` and ``seconds``/``start``/``wall_seconds`` payloads),
+    which cannot repeat across separate executions."""
     events = []
     for event in snapshot["events"]:
         payload = {
             k: v for k, v in event["payload"].items()
-            if k not in ("seconds", "wall_seconds")
+            if k not in ("seconds", "start", "wall_seconds")
         }
         events.append((event["kind"], repr(sorted(payload.items()))))
     spans = {k: v["count"] for k, v in snapshot["spans"].items()}

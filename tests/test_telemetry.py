@@ -7,7 +7,12 @@ import json
 
 import pytest
 
-from repro.telemetry import NULL_TELEMETRY, Telemetry, null_telemetry
+from repro.telemetry import (
+    NULL_TELEMETRY,
+    SUMMARY_KIND,
+    Telemetry,
+    null_telemetry,
+)
 from repro.utils.config import (
     ChipConfig,
     CrossbarConfig,
@@ -95,6 +100,50 @@ class TestSpans:
                 raise RuntimeError("boom")
         assert tel.spans["work"]["count"] == 1
 
+    def test_span_min_max_aggregates(self):
+        tel = Telemetry(echo=False)
+        for _ in range(3):
+            with tel.span("w"):
+                pass
+        agg = tel.spans["w"]
+        assert 0.0 <= agg["min"] <= agg["max"] <= agg["seconds"]
+
+    def test_nested_spans_carry_parent_ids(self):
+        tel = Telemetry(echo=False)
+        with tel.span("outer"):
+            with tel.span("inner"):
+                pass
+        inner, outer = sorted(
+            (e["payload"] for e in tel.filter("span")),
+            key=lambda p: p["name"],
+        )
+        assert outer["parent_id"] is None
+        assert inner["parent_id"] == outer["span_id"]
+        assert inner["span_id"] != outer["span_id"]
+
+    def test_sibling_spans_share_parent(self):
+        tel = Telemetry(echo=False)
+        with tel.span("root"):
+            with tel.span("a"):
+                pass
+            with tel.span("b"):
+                pass
+        payloads = {e["payload"]["name"]: e["payload"]
+                    for e in tel.filter("span")}
+        assert payloads["a"]["parent_id"] == payloads["root"]["span_id"]
+        assert payloads["b"]["parent_id"] == payloads["root"]["span_id"]
+
+    def test_nested_sinks_do_not_cross_link(self):
+        # A child sink's span opened inside an outer sink's span must not
+        # adopt the outer sink's span as its parent (distinct traces).
+        outer = Telemetry(echo=False)
+        inner = Telemetry(echo=False)
+        with outer.span("cli"):
+            with inner.span("cell_work"):
+                pass
+        (cell_event,) = inner.filter("span")
+        assert cell_event["payload"]["parent_id"] is None
+
 
 class TestDisabled:
     def test_disabled_sink_is_inert(self):
@@ -109,6 +158,28 @@ class TestDisabled:
         assert null_telemetry() is NULL_TELEMETRY
         assert not NULL_TELEMETRY.enabled
 
+    def test_merge_into_null_telemetry_is_noop(self):
+        # Regression: merge() used to mutate the shared NULL_TELEMETRY,
+        # leaking one run's counters/events into every later consumer.
+        child = Telemetry(echo=False)
+        child.count("remaps", 3)
+        child.event("epoch_done", epoch=0)
+        with child.span("train_epoch"):
+            pass
+        child.observe("train.epoch_seconds", 0.5)
+        sink = null_telemetry()
+        sink.merge(child, tag="cell")
+        sink.merge(child.snapshot())
+        assert sink.events == []
+        assert sink.counters == {}
+        assert sink.spans == {}
+        assert sink.histograms == {}
+
+    def test_disabled_sink_ignores_observe(self):
+        tel = Telemetry(enabled=False)
+        tel.observe("h", 1.0)
+        assert tel.histograms == {}
+
 
 class TestTraceIO:
     def test_jsonl_round_trip(self, tmp_path):
@@ -119,9 +190,23 @@ class TestTraceIO:
         path = tmp_path / "trace.jsonl"
         tel.dump_jsonl(str(path))
         records = [json.loads(line) for line in path.read_text().splitlines()]
-        assert len(records) == 2
+        # events plus the trailing summary record (counters/histograms
+        # survive the file round trip for `repro report`).
+        assert len(records) == 3
         for record in records:
             assert {"ts", "kind", "payload"} <= set(record)
+        assert records[-1]["kind"] == SUMMARY_KIND
+        assert records[-1]["payload"]["events_by_kind"] == {
+            "fault_injected": 1, "span": 1,
+        }
+
+    def test_summary_record_is_optional(self, tmp_path):
+        tel = Telemetry(echo=False)
+        tel.event("k", a=1)
+        path = tmp_path / "bare.jsonl"
+        tel.dump_jsonl(str(path), summary=False)
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [r["kind"] for r in records] == ["k"]
 
     def test_numpy_payloads_serialise(self, tmp_path):
         import numpy as np
@@ -129,9 +214,45 @@ class TestTraceIO:
         tel = Telemetry(echo=False)
         tel.event("k", scalar=np.float64(0.5), arr=np.arange(3))
         path = tmp_path / "np.jsonl"
-        tel.dump_jsonl(str(path))
+        tel.dump_jsonl(str(path), summary=False)
         (record,) = [json.loads(l) for l in path.read_text().splitlines()]
         assert record["payload"] == {"scalar": 0.5, "arr": [0, 1, 2]}
+
+
+class TestHistograms:
+    def test_observe_builds_summary_percentiles(self):
+        tel = Telemetry(echo=False)
+        for ms in range(1, 101):
+            tel.observe("remap.pass_seconds", ms / 1000.0)
+        s = tel.summary()["histograms"]["remap.pass_seconds"]
+        assert s["count"] == 100
+        assert s["min"] == pytest.approx(0.001)
+        assert s["max"] == pytest.approx(0.100)
+        # log-bucketed percentiles: right order of magnitude, ordered.
+        assert 0.02 <= s["p50"] <= 0.08
+        assert s["p50"] <= s["p90"] <= s["p99"] <= s["max"]
+
+    def test_merge_folds_histograms(self):
+        parent = Telemetry(echo=False)
+        parent.observe("h", 1.0)
+        child = Telemetry(echo=False)
+        child.observe("h", 3.0)
+        child.observe("other", 2.0)
+        parent.merge(child)
+        assert parent.histograms["h"].count == 2
+        assert parent.histograms["h"].max == 3.0
+        assert parent.histograms["other"].count == 1
+
+    def test_histograms_survive_snapshot_pickle(self):
+        import pickle
+
+        child = Telemetry(echo=False)
+        child.observe("h", 0.25)
+        snap = pickle.loads(pickle.dumps(child.snapshot()))
+        parent = Telemetry(echo=False)
+        parent.merge(snap)
+        assert parent.histograms["h"].count == 1
+        assert parent.histograms["h"].summary()["max"] == pytest.approx(0.25)
 
 
 class TestMerge:

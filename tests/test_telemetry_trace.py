@@ -1,0 +1,188 @@
+"""Hierarchical-trace tests: parent ids across process boundaries,
+histogram merge algebra, span-tree reconstruction and the Chrome
+trace-event export (golden file)."""
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.telemetry import Histogram, Telemetry
+from repro.telemetry.trace import build_span_tree, export_chrome_trace
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "data",
+                           "chrome_trace_golden.json")
+
+
+def _nested_span_snapshot(_arg):
+    """Worker: emit a three-level span nest and ship the snapshot home."""
+    tel = Telemetry(echo=False)
+    with tel.span("train_epoch", epoch=0):
+        with tel.span("layer_fwd:conv1"):
+            with tel.span("mvm_recompute"):
+                pass
+        with tel.span("layer_fwd:conv2"):
+            pass
+    tel.observe("train.epoch_seconds", 0.125)
+    return tel.snapshot()
+
+
+def _assert_nest_intact(parent: Telemetry, cell: str) -> None:
+    payloads = {e["payload"]["name"]: e["payload"]
+                for e in parent.filter("span") if e.get("cell") == cell}
+    assert payloads["train_epoch"]["parent_id"] is None
+    epoch_id = payloads["train_epoch"]["span_id"]
+    assert payloads["layer_fwd:conv1"]["parent_id"] == epoch_id
+    assert payloads["layer_fwd:conv2"]["parent_id"] == epoch_id
+    assert (payloads["mvm_recompute"]["parent_id"]
+            == payloads["layer_fwd:conv1"]["span_id"])
+
+
+class TestCrossProcessSpans:
+    @pytest.mark.parametrize("method", ["fork", "spawn"])
+    def test_parent_ids_survive_worker_merge(self, method):
+        if method not in multiprocessing.get_all_start_methods():
+            pytest.skip(f"start method {method!r} unavailable")
+        ctx = multiprocessing.get_context(method)
+        with ctx.Pool(1) as pool:
+            (snap,) = pool.map(_nested_span_snapshot, [0])
+        parent = Telemetry(echo=False)
+        parent.merge(snap, tag="w0")
+        _assert_nest_intact(parent, "w0")
+        assert parent.histograms["train.epoch_seconds"].count == 1
+
+    def test_merged_tree_groups_by_name_path(self):
+        parent = Telemetry(echo=False)
+        for cell in ("w0", "w1"):
+            parent.merge(_nested_span_snapshot(0), tag=cell)
+        tree = build_span_tree(parent.events)
+        (epoch,) = tree.sorted_children()
+        assert epoch.name == "train_epoch"
+        assert epoch.count == 2
+        kids = {n.name for n in epoch.sorted_children()}
+        assert kids == {"layer_fwd:conv1", "layer_fwd:conv2"}
+        (conv1,) = [n for n in epoch.sorted_children()
+                    if n.name == "layer_fwd:conv1"]
+        assert [n.name for n in conv1.sorted_children()] == ["mvm_recompute"]
+
+    def test_orphan_span_becomes_root(self):
+        events = [{"ts": 0.0, "kind": "span",
+                   "payload": {"name": "lost_child", "span_id": 7,
+                               "parent_id": 99, "seconds": 0.5, "start": 0.0}}]
+        tree = build_span_tree(events)
+        assert [n.name for n in tree.sorted_children()] == ["lost_child"]
+
+
+class TestHistogramAlgebra:
+    def test_merge_is_order_independent(self):
+        import random
+
+        rng = random.Random(7)
+        samples = [rng.uniform(1e-6, 1e2) for _ in range(300)]
+        parts = [samples[i::4] for i in range(4)]
+        hists = []
+        for part in parts:
+            h = Histogram()
+            for v in part:
+                h.observe(v)
+            hists.append(h)
+
+        def merged(order):
+            total = Histogram()
+            for i in order:
+                total.merge(hists[i])
+            return total.snapshot()
+
+        forward = merged([0, 1, 2, 3])
+        backward = merged([3, 2, 1, 0])
+        shuffled = merged([2, 0, 3, 1])
+        assert forward == backward == shuffled
+        assert forward["count"] == len(samples)
+
+    def test_merge_accepts_snapshots_and_rejects_layout_mismatch(self):
+        a = Histogram()
+        a.observe(1.0)
+        b = Histogram()
+        b.observe(2.0)
+        a.merge(b.snapshot())
+        assert a.count == 2
+        with pytest.raises(ValueError):
+            a.merge(Histogram(lo=1e-3, hi=1e3))
+
+    def test_serial_equals_split_merge(self):
+        values = [0.001 * (i + 1) for i in range(50)]
+        serial = Histogram()
+        for v in values:
+            serial.observe(v)
+        left, right = Histogram(), Histogram()
+        for v in values[:25]:
+            left.observe(v)
+        for v in values[25:]:
+            right.observe(v)
+        left.merge(right)
+        merged_snap, serial_snap = left.snapshot(), serial.snapshot()
+        # Summation order differs between split halves and a serial pass,
+        # so `sum` (and mean) may disagree in the last ulp; everything
+        # else — bucket counts, min/max, percentiles — is exact.
+        assert merged_snap.pop("sum") == pytest.approx(serial_snap.pop("sum"))
+        assert merged_snap == serial_snap
+        merged_sum, serial_sum = left.summary(), serial.summary()
+        for key in ("sum", "mean"):
+            assert merged_sum.pop(key) == pytest.approx(serial_sum.pop(key))
+        assert merged_sum == serial_sum
+
+
+def _golden_events():
+    """Hand-written deterministic events (no wall clock anywhere)."""
+    return [
+        {"ts": 0.0, "kind": "run_started", "payload": {"model": "vgg11"}},
+        {"ts": 1.0, "kind": "span",
+         "payload": {"name": "train_epoch", "span_id": 0, "parent_id": None,
+                     "start": 0.5, "seconds": 0.5, "epoch": 0}},
+        {"ts": 0.9, "kind": "span",
+         "payload": {"name": "layer_fwd:conv1", "span_id": 1, "parent_id": 0,
+                     "start": 0.6, "seconds": 0.25}, "cell": None},
+        {"ts": 0.7, "kind": "health_sample", "cell": "w1",
+         "payload": {"epoch": 0, "faulty": 12}},
+        {"ts": 1.2, "kind": "span", "cell": "w1",
+         "payload": {"name": "bist_scan", "span_id": 0, "parent_id": None,
+                     "start": 1.0, "seconds": 0.2}},
+    ]
+
+
+class TestChromeExport:
+    def test_matches_golden_file(self):
+        with open(GOLDEN_PATH, "r", encoding="utf-8") as fh:
+            golden = json.load(fh)
+        assert export_chrome_trace(_golden_events()) == golden
+
+    def test_structurally_valid_trace_event_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        export_chrome_trace(_golden_events(), str(path))
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        assert isinstance(doc["traceEvents"], list)
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert phases <= {"M", "X", "i"}
+        for e in doc["traceEvents"]:
+            assert {"ph", "pid", "tid"} <= set(e)
+            if e["ph"] == "X":
+                assert e["dur"] >= 0 and e["ts"] >= 0
+            if e["ph"] == "i":
+                assert e["s"] == "t"
+        # one named thread row per distinct cell tag (main + w1)
+        threads = [e for e in doc["traceEvents"]
+                   if e["ph"] == "M" and e["name"] == "thread_name"]
+        assert {t["args"]["name"] for t in threads} == {"main", "w1"}
+
+    def test_live_sink_events_export(self):
+        tel = Telemetry(echo=False)
+        with tel.span("outer"):
+            with tel.span("inner"):
+                pass
+        tel.event("marker", x=1)
+        doc = export_chrome_trace(tel.events)
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert {e["name"] for e in spans} == {"outer", "inner"}
+        json.dumps(doc)  # serialisable end to end

@@ -1,35 +1,9 @@
-"""Tests for logging and table rendering helpers."""
-
-import json
+"""Tests for table, series and sparkline rendering helpers."""
 
 import pytest
 
-from repro.utils.logging import RunLogger
+from repro.utils.charts import render_sparkline
 from repro.utils.tabulate import render_series, render_table
-
-
-class TestRunLogger:
-    def test_records_events_in_order(self):
-        log = RunLogger(echo=False)
-        log.event("epoch", epoch=0, acc=0.5)
-        log.event("remap", count=3)
-        assert [e["kind"] for e in log.events] == ["epoch", "remap"]
-
-    def test_filter_by_kind(self):
-        log = RunLogger(echo=False)
-        log.event("a", x=1)
-        log.event("b", x=2)
-        log.event("a", x=3)
-        assert [e["x"] for e in log.filter("a")] == [1, 3]
-
-    def test_dump_jsonl(self, tmp_path):
-        log = RunLogger(echo=False)
-        log.event("epoch", epoch=1)
-        path = tmp_path / "run.jsonl"
-        log.dump_jsonl(str(path))
-        lines = path.read_text().strip().splitlines()
-        assert len(lines) == 1
-        assert json.loads(lines[0])["kind"] == "epoch"
 
 
 class TestRenderTable:
@@ -61,3 +35,21 @@ class TestRenderSeries:
     def test_rejects_length_mismatch(self):
         with pytest.raises(ValueError):
             render_series("s", [1], [1, 2])
+
+
+class TestRenderSparkline:
+    def test_monotone_ramp(self):
+        assert render_sparkline([0.0, 0.5, 1.0]) == "▁▅█"
+
+    def test_constant_series_is_flat(self):
+        out = render_sparkline([2.0, 2.0, 2.0])
+        assert len(out) == 3
+        assert len(set(out)) == 1
+
+    def test_empty(self):
+        assert render_sparkline([]) == ""
+
+    def test_explicit_scale_clamps(self):
+        out = render_sparkline([5.0, -1.0], vmax=1.0)
+        assert out[0] == "█"
+        assert out[1] == "▁"
