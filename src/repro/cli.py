@@ -3,6 +3,7 @@
 Examples::
 
     python -m repro run --model resnet12 --policy remap-d --epochs 8
+    python -m repro run --model vgg11 --train-workers 2 --grad-shards 4
     python -m repro compare --model vgg11 --policies ideal none remap-d
     python -m repro sweep --models vgg11 resnet12 --seeds 1 2 \\
         --workers 4 --timeout 900 --resume sweep.jsonl
@@ -66,6 +67,15 @@ def _training_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--post-n", type=float, default=0.01,
                         help="fraction of crossbars hit per epoch")
     parser.add_argument("--remap-threshold", type=float, default=0.001)
+    parser.add_argument("--train-workers", type=int, default=0,
+                        help="data-parallel training ranks (0 = single "
+                             "process; capped at --grad-shards; the "
+                             "REPRO_TRAIN_WORKERS env var overrides)")
+    parser.add_argument("--grad-shards", type=int, default=4,
+                        help="micro-shards per batch for data-parallel "
+                             "training; part of the numerical recipe, so "
+                             "results depend on it but not on the worker "
+                             "count")
 
 
 def _output_args(parser: argparse.ArgumentParser) -> None:
@@ -97,6 +107,8 @@ def _build_config(args: argparse.Namespace, model: str, policy: str,
             n_train=args.n_train,
             n_test=args.n_test,
             width_mult=args.width_mult,
+            data_parallel=args.train_workers,
+            grad_shards=args.grad_shards,
         ),
         chip=ChipConfig(
             crossbar=CrossbarConfig(rows=args.crossbar_size,

@@ -30,6 +30,7 @@ from repro.nn.data import SyntheticDataset, cached_dataset
 from repro.nn.fault_aware import CrossbarEngine
 from repro.nn.layers import Conv2d, Linear, Module
 from repro.nn.models import build_model
+from repro.nn.parallel import DataParallelTrainer, resolve_train_workers
 from repro.nn.tensor import set_default_dtype
 from repro.nn.trainer import Trainer, TrainResult
 from repro.reram.chip import Chip
@@ -42,6 +43,7 @@ from repro.utils.rng import RngHub
 __all__ = [
     "ExperimentContext",
     "ExperimentResult",
+    "apply_epoch_end",
     "build_experiment",
     "run_experiment",
     "inject_phase_faults",
@@ -202,7 +204,18 @@ def build_experiment(
         config.policy, config.policy_param, config.remap_threshold,
         **config.policy_kwargs,
     )
-    trainer = Trainer(model, dataset, tc, hub.stream("train"), telemetry=tel)
+    # ``data_parallel`` (or its REPRO_TRAIN_WORKERS override) routes
+    # training through the sharded SPMD trainer; its worker replicas run
+    # this very function, with the override neutralised, to reconstruct
+    # identical stacks in their own processes.
+    workers = resolve_train_workers(tc)
+    if workers > 0:
+        trainer = DataParallelTrainer(
+            model, dataset, tc, hub.stream("train"), telemetry=tel,
+            experiment=config, world=workers,
+        )
+    else:
+        trainer = Trainer(model, dataset, tc, hub.stream("train"), telemetry=tel)
     if config.variation is not None:
         engine.set_variation(config.variation, hub.stream("variation"))
     engine.telemetry = tel
@@ -235,6 +248,49 @@ def build_experiment(
     return ctx
 
 
+def apply_epoch_end(
+    ctx: ExperimentContext,
+    bist_rng: np.random.Generator,
+    epoch: int,
+    trainer: Trainer,
+) -> None:
+    """The per-epoch chip/policy transition (wear, faults, BIST, remap).
+
+    Module-level (rather than a closure in ``run_experiment``) because
+    data-parallel worker replicas replay exactly this transition on their
+    own chip/engine copies: with the shared RNG streams it is fully
+    deterministic, which keeps every rank's effective weights identical
+    going into the next epoch.
+    """
+    tel = ctx.telemetry
+    chip = ctx.chip
+    policy = ctx.policy
+    faults_active = not policy.disable_faults
+    # Weight updates this epoch wrote every mapped crossbar once per
+    # batch — that wear drives where endurance faults strike next.
+    chip.record_update_writes(trainer.num_batches())
+    if faults_active and ctx.config.faults.post_enabled:
+        hit = ctx.injector.inject_post_epoch(chip.fault_maps, chip.wear, epoch)
+        chip.bump_fault_version()
+        cells = sum(n for ep, _, n in ctx.injector.history if ep == epoch)
+        tel.event("fault_injected", phase="post", source="endurance",
+                  epoch=epoch, crossbars=len(hit), cells=cells)
+        tel.count("faults.post_cells", cells)
+    if policy.uses_bist:
+        t_scan = time.perf_counter()
+        with tel.span("bist_scan", epoch=epoch):
+            densities = scan_chip(chip, bist_rng, telemetry=tel)
+            ctx.pair_density_est = pair_density_estimates(chip, densities)
+        tel.observe("bist.scan_seconds", time.perf_counter() - t_scan)
+        ctx.bist_scans += 1
+        tel.event("bist_scan", epoch=epoch,
+                  mean_density_est=float(ctx.pair_density_est.mean()),
+                  max_density_est=float(ctx.pair_density_est.max()))
+        tel.count("bist_scans")
+    policy.on_epoch_end(ctx, epoch)
+    sample_health(chip, tel, epoch=epoch)
+
+
 def run_experiment(
     config: ExperimentConfig,
     telemetry: Telemetry | None = None,
@@ -253,39 +309,26 @@ def run_experiment(
         ctx = build_experiment(config, telemetry=tel)
     policy = ctx.policy
     chip = ctx.chip
-    faults_active = not policy.disable_faults
     bist_rng = ctx.rng_hub.stream("bist")
     # Baseline health sample: the chip's state after manufacturing faults
     # but before any training epoch (epoch == -1 marks the setup sample).
     sample_health(chip, tel, epoch=-1)
 
     def on_epoch_end(epoch: int, trainer: Trainer) -> None:
-        # Weight updates this epoch wrote every mapped crossbar once per
-        # batch — that wear drives where endurance faults strike next.
-        chip.record_update_writes(trainer.num_batches())
-        if faults_active and ctx.config.faults.post_enabled:
-            hit = ctx.injector.inject_post_epoch(chip.fault_maps, chip.wear, epoch)
-            chip.bump_fault_version()
-            cells = sum(n for ep, _, n in ctx.injector.history if ep == epoch)
-            tel.event("fault_injected", phase="post", source="endurance",
-                      epoch=epoch, crossbars=len(hit), cells=cells)
-            tel.count("faults.post_cells", cells)
-        if policy.uses_bist:
-            t_scan = time.perf_counter()
-            with tel.span("bist_scan", epoch=epoch):
-                densities = scan_chip(chip, bist_rng, telemetry=tel)
-                ctx.pair_density_est = pair_density_estimates(chip, densities)
-            tel.observe("bist.scan_seconds", time.perf_counter() - t_scan)
-            ctx.bist_scans += 1
-            tel.event("bist_scan", epoch=epoch,
-                      mean_density_est=float(ctx.pair_density_est.mean()),
-                      max_density_est=float(ctx.pair_density_est.max()))
-            tel.count("bist_scans")
-        policy.on_epoch_end(ctx, epoch)
-        sample_health(chip, tel, epoch=epoch)
+        apply_epoch_end(ctx, bist_rng, epoch, trainer)
+        # Data-parallel training: have the worker replicas replay the
+        # same transition before they accept the next epoch command.
+        broadcast = getattr(trainer, "broadcast_epoch_end", None)
+        if broadcast is not None:
+            broadcast(epoch)
 
-    with tel.span("train", model=config.train.model, policy=config.policy):
-        train_result = ctx.trainer.fit(on_epoch_end=on_epoch_end)
+    try:
+        with tel.span("train", model=config.train.model, policy=config.policy):
+            train_result = ctx.trainer.fit(on_epoch_end=on_epoch_end)
+    finally:
+        shutdown = getattr(ctx.trainer, "shutdown", None)
+        if shutdown is not None:
+            shutdown()
     pair_densities = chip.true_pair_densities()
     for name, value in ctx.engine.cache_stats().items():
         tel.count(f"engine.cache_{name}", value)

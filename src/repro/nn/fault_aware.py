@@ -77,6 +77,9 @@ class CrossbarEngine:
         self._weights: dict[str, "object"] = {}
         #: (key, path) -> (version tuple, effective matrix).
         self._eff_cache: dict[tuple[str, str], tuple[tuple, np.ndarray]] = {}
+        #: key -> (version tuple, fwd, bwd) — the fused layers' single
+        #: probe for both phase copies (see :meth:`step_weights`).
+        self._step_cache: dict[str, tuple[tuple, np.ndarray, np.ndarray | None]] = {}
         #: engine-owned result buffers, (key, path, dtype) -> array.
         self._eff_buffers: dict[tuple[str, str, str], np.ndarray] = {}
         #: cache statistics (tests and the hotpath bench read these).
@@ -137,6 +140,46 @@ class CrossbarEngine:
         the engine and must not be mutated.
         """
         return self._effective_weight(key, w2d, "bwd")
+
+    def step_weights(
+        self, key: str, w2d: np.ndarray, need_backward: bool = True
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        """Both phase copies' effective weights under one cache lookup.
+
+        The fused hot loop calls this once per (step, layer): a single
+        version probe replaces the two per-path probes of
+        :meth:`forward_weight` + :meth:`backward_weight`.  Counter
+        bookkeeping matches the per-path calls it replaces (a step-cache
+        hit counts as two hits — or one when only the forward weight is
+        requested); misses delegate to the per-path cache, which counts
+        normally.  Returned arrays are engine-owned: do not mutate.
+        """
+        if not self.faults_enabled:
+            return w2d, (w2d if need_backward else None)
+        if (
+            not self.cache_enabled
+            or (self.variation is not None and self.variation.active)
+        ):
+            w_fwd = self._effective_weight(key, w2d, "fwd")
+            w_bwd = self._effective_weight(key, w2d, "bwd") if need_backward else None
+            return w_fwd, w_bwd
+        weight = self._weights.get(key)
+        ck = (
+            weight.version if weight is not None else -1,
+            self.chip.fault_version,
+            self.override_version,
+            w2d.dtype.str,
+        )
+        cached = self._step_cache.get(key)
+        if cached is not None and cached[0] == ck and (
+            cached[2] is not None or not need_backward
+        ):
+            self.cache_hits += 2 if need_backward else 1
+            return cached[1], cached[2]
+        w_fwd = self._effective_weight(key, w2d, "fwd")
+        w_bwd = self._effective_weight(key, w2d, "bwd") if need_backward else None
+        self._step_cache[key] = (ck, w_fwd, w_bwd)
+        return w_fwd, w_bwd
 
     def _effective_weight(self, key: str, w2d: np.ndarray, path: str) -> np.ndarray:
         if not self.faults_enabled:
@@ -331,8 +374,12 @@ class CrossbarEngine:
         Only needed after mutating state the version keys cannot see —
         e.g. poking ``Parameter.data`` without :meth:`Parameter.bump_version`
         or editing fault maps without ``Chip.bump_fault_version``.
+        Drops the engine-owned result buffers too, so no stale copy of
+        the silently-mutated state can be served through them.
         """
         self._eff_cache.clear()
+        self._step_cache.clear()
+        self._eff_buffers.clear()
 
     def cache_stats(self) -> dict[str, int]:
         """Hit/miss/recompute counters of the effective-weight cache."""
@@ -341,6 +388,53 @@ class CrossbarEngine:
             "misses": self.cache_misses,
             "recomputes": self.recomputes,
         }
+
+    def reset_cache_stats(self) -> None:
+        """Zero the hit/miss/recompute counters (bench section boundaries)."""
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.recomputes = 0
+
+    # ------------------------------------------------------------------ #
+    # gradient-scale replication (data-parallel training)
+    # ------------------------------------------------------------------ #
+    # The gradient ADC range of a backward copy is calibrated lazily from
+    # the first gradient a (re)written block sees and then frozen.  Under
+    # sharded data-parallel execution that first gradient must be the
+    # canonical one (shard 0, owned by rank 0) on *every* replica, or the
+    # frozen ranges — and with them every subsequent gradient clamp —
+    # would depend on which rank happened to calibrate.  Rank 0 exports
+    # its calibrated scales after running shard 0; peers import them
+    # before clamping their own shards (repro.nn.parallel).
+
+    def grad_scale_count(self) -> int:
+        """Total per-block gradient-scale entries across backward copies."""
+        return sum(bwd.grad_scales.size for _, bwd in self.copies.values())
+
+    def grad_scales_stale(self) -> bool:
+        """True when any backward copy awaits gradient-scale calibration."""
+        if not self.faults_enabled:
+            return False
+        return any(
+            bool(np.isnan(bwd.grad_scales).any())
+            for _, bwd in self.copies.values()
+        )
+
+    def export_grad_scales(self, out: np.ndarray) -> None:
+        """Pack every backward copy's gradient scales into ``out`` (flat)."""
+        i = 0
+        for _, bwd in self.copies.values():
+            n = bwd.grad_scales.size
+            out[i : i + n] = bwd.grad_scales.ravel()
+            i += n
+
+    def import_grad_scales(self, flat: np.ndarray) -> None:
+        """Adopt gradient scales previously packed by :meth:`export_grad_scales`."""
+        i = 0
+        for _, bwd in self.copies.values():
+            n = bwd.grad_scales.size
+            bwd.adopt_grad_scales(flat[i : i + n])
+            i += n
 
     # ------------------------------------------------------------------ #
     # introspection for the controller / policies

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.nn.tensor import Tensor, is_grad_enabled
+from repro.nn.tensor import Tensor, is_fused, is_grad_enabled, step_arena
 
 __all__ = [
     "im2col",
@@ -74,13 +74,29 @@ def im2col(
     n, c, h, w = x.shape
     oh = conv_output_size(h, kh, stride, pad)
     ow = conv_output_size(w, kw, stride, pad)
+    fused = is_fused()
     if pad > 0:
-        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+        if fused:
+            # Arena-backed padded buffer: edge strips are zero-filled and
+            # the interior overwritten, producing exactly what np.pad
+            # would — without its fresh allocation each call.
+            hp, wp = h + 2 * pad, w + 2 * pad
+            padded = step_arena().take((n, c, hp, wp), x.dtype)
+            padded[:, :, :pad, :].fill(0.0)
+            padded[:, :, hp - pad:, :].fill(0.0)
+            padded[:, :, pad:hp - pad, :pad].fill(0.0)
+            padded[:, :, pad:hp - pad, wp - pad:].fill(0.0)
+            padded[:, :, pad:hp - pad, pad:wp - pad] = x
+            x = padded
+        else:
+            x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
     # The 6-D gather buffer never escapes this function, so it comes from
     # the scratch pool.  The returned patch matrix is captured by autograd
     # closures and must be a fresh allocation while a graph is being
     # built; in inference mode (no_grad) nothing outlives the layer's
-    # matmul, so it comes from the pool too.
+    # matmul, so it comes from the pool too.  The fused path instead
+    # draws it from the step arena: distinct within a step, recycled
+    # across steps (backward always completes before the next forward).
     cols = _scratch("im2col", (n, c, kh, kw, oh, ow), x.dtype)
     for i in range(kh):
         i_end = i + stride * oh
@@ -88,7 +104,9 @@ def im2col(
             j_end = j + stride * ow
             cols[:, :, i, j, :, :] = x[:, :, i:i_end:stride, j:j_end:stride]
     out_shape = (n * oh * ow, c * kh * kw)
-    if is_grad_enabled():
+    if fused:
+        out = step_arena().take(out_shape, x.dtype)
+    elif is_grad_enabled():
         out = np.empty(out_shape, dtype=x.dtype)
     else:
         out = _scratch("im2col_out", out_shape, x.dtype)
@@ -116,9 +134,14 @@ def col2im(
     oh = conv_output_size(h, kh, stride, pad)
     ow = conv_output_size(w, kw, stride, pad)
     cols = cols.reshape(n, oh, ow, c, kh, kw).transpose(0, 3, 4, 5, 1, 2)
-    x_padded = _scratch(
-        "col2im", (n, c, h + 2 * pad, w + 2 * pad), cols.dtype
-    )
+    if is_fused():
+        x_padded = step_arena().take(
+            (n, c, h + 2 * pad, w + 2 * pad), cols.dtype
+        )
+    else:
+        x_padded = _scratch(
+            "col2im", (n, c, h + 2 * pad, w + 2 * pad), cols.dtype
+        )
     x_padded.fill(0.0)
     for i in range(kh):
         i_end = i + stride * oh
@@ -136,6 +159,23 @@ def col2im(
 def relu(x: Tensor) -> Tensor:
     # np.maximum needs no materialised boolean mask; the backward mask is
     # only built if/when the tape actually runs.
+    if is_fused() and is_grad_enabled():
+        # take_like keeps the input's memory layout (conv activations are
+        # transposed views); downstream reductions must see the same
+        # iteration order as the reference path.
+        arena = step_arena()
+        out_data = arena.take_like(x.data)
+        np.maximum(x.data, 0.0, out=out_data)
+
+        def bwd(grad: np.ndarray) -> None:
+            if x.requires_grad:
+                mask = arena.take(x.data.shape, np.bool_)
+                np.greater(x.data, 0, out=mask)
+                g = arena.take(x.data.shape, x.data.dtype)
+                np.multiply(grad, mask, out=g)
+                x.accumulate_grad(g, donate=True)
+
+        return Tensor(out_data, parents=(x,), backward=bwd)
     out_data = np.maximum(x.data, 0.0)
 
     def bwd(grad: np.ndarray) -> None:

@@ -20,7 +20,7 @@ from typing import Iterator
 import numpy as np
 
 from repro.nn import functional as F
-from repro.nn.tensor import Tensor, is_grad_enabled
+from repro.nn.tensor import Tensor, is_fused, is_grad_enabled, step_arena
 
 __all__ = [
     "Parameter",
@@ -190,22 +190,36 @@ class Conv2d(Module):
 
     def _forward(self, x: Tensor, tel) -> Tensor:
         grad_on = is_grad_enabled()
+        fused = is_fused()
         cols, oh, ow = F.im2col(
             x.data, self.kernel_size, self.kernel_size, self.stride, self.padding
         )
         self.last_output_hw = (oh, ow)  # consumed by the traffic model
         w2d = self.weight.data.reshape(self.out_channels, -1)
         if self.engine is not None:
-            w_fwd = self.engine.forward_weight(self.layer_key, w2d)
-            # The backward-copy read only feeds the input-gradient MVM;
-            # inference mode never runs it.
-            w_bwd = self.engine.backward_weight(self.layer_key, w2d) if grad_on else None
+            if fused:
+                # One version probe covers both phase copies.
+                w_fwd, w_bwd = self.engine.step_weights(
+                    self.layer_key, w2d, need_backward=grad_on
+                )
+            else:
+                w_fwd = self.engine.forward_weight(self.layer_key, w2d)
+                # The backward-copy read only feeds the input-gradient MVM;
+                # inference mode never runs it.
+                w_bwd = self.engine.backward_weight(self.layer_key, w2d) if grad_on else None
         else:
             w_fwd = w_bwd = w2d
-        y = cols @ w_fwd.T
-        if self.bias is not None:
-            y = y + self.bias.data
         n = x.shape[0]
+        if fused:
+            arena = step_arena()
+            y = arena.take((cols.shape[0], self.out_channels), cols.dtype)
+            np.matmul(cols, w_fwd.T, out=y)
+            if self.bias is not None:
+                y += self.bias.data
+        else:
+            y = cols @ w_fwd.T
+            if self.bias is not None:
+                y = y + self.bias.data
         out_data = y.reshape(n, oh, ow, self.out_channels).transpose(0, 3, 1, 2)
         if not grad_on:
             return Tensor(out_data)
@@ -213,17 +227,34 @@ class Conv2d(Module):
         x_shape = x.data.shape
         ks, st, pd = self.kernel_size, self.stride, self.padding
 
-        def bwd(grad: np.ndarray) -> None:
-            gy = grad.transpose(0, 2, 3, 1).reshape(-1, self.out_channels)
-            dw2d = gy.T @ cols
-            if self.engine is not None:
-                dw2d = self.engine.gradient_weight(self.layer_key, dw2d)
-            weight.grad += dw2d.reshape(weight.data.shape)
-            if bias is not None:
-                bias.grad += gy.sum(axis=0)
-            if x.requires_grad:
-                dcols = gy @ w_bwd
-                x.accumulate_grad(F.col2im(dcols, x_shape, ks, ks, st, pd))
+        if fused:
+            def bwd(grad: np.ndarray) -> None:
+                co = self.out_channels
+                gy = arena.take((n * oh * ow, co), grad.dtype)
+                np.copyto(gy.reshape(n, oh, ow, co), grad.transpose(0, 2, 3, 1))
+                dw2d = arena.take((co, cols.shape[1]), cols.dtype)
+                np.matmul(gy.T, cols, out=dw2d)
+                if self.engine is not None:
+                    dw2d = self.engine.gradient_weight(self.layer_key, dw2d)
+                weight.grad += dw2d.reshape(weight.data.shape)
+                if bias is not None:
+                    bias.grad += gy.sum(axis=0)
+                if x.requires_grad and not x.skip_grad:
+                    dcols = arena.take(cols.shape, cols.dtype)
+                    np.matmul(gy, w_bwd, out=dcols)
+                    x.accumulate_grad(F.col2im(dcols, x_shape, ks, ks, st, pd))
+        else:
+            def bwd(grad: np.ndarray) -> None:
+                gy = grad.transpose(0, 2, 3, 1).reshape(-1, self.out_channels)
+                dw2d = gy.T @ cols
+                if self.engine is not None:
+                    dw2d = self.engine.gradient_weight(self.layer_key, dw2d)
+                weight.grad += dw2d.reshape(weight.data.shape)
+                if bias is not None:
+                    bias.grad += gy.sum(axis=0)
+                if x.requires_grad:
+                    dcols = gy @ w_bwd
+                    x.accumulate_grad(F.col2im(dcols, x_shape, ks, ks, st, pd))
 
         if tel is not None:
             key = self.layer_key
@@ -273,15 +304,29 @@ class Linear(Module):
         if x.ndim != 2:
             raise ValueError("Linear expects (N, features) input; Flatten first")
         grad_on = is_grad_enabled()
+        fused = is_fused()
         w2d = self.weight.data
         if self.engine is not None:
-            w_fwd = self.engine.forward_weight(self.layer_key, w2d)
-            w_bwd = self.engine.backward_weight(self.layer_key, w2d) if grad_on else None
+            if fused:
+                w_fwd, w_bwd = self.engine.step_weights(
+                    self.layer_key, w2d, need_backward=grad_on
+                )
+            else:
+                w_fwd = self.engine.forward_weight(self.layer_key, w2d)
+                w_bwd = self.engine.backward_weight(self.layer_key, w2d) if grad_on else None
         else:
             w_fwd = w_bwd = w2d
-        out_data = x.data @ w_fwd.T
-        if self.bias is not None:
-            out_data = out_data + self.bias.data
+        if fused:
+            out_data = step_arena().take(
+                (x.data.shape[0], self.out_features), x.data.dtype
+            )
+            np.matmul(x.data, w_fwd.T, out=out_data)
+            if self.bias is not None:
+                out_data += self.bias.data
+        else:
+            out_data = x.data @ w_fwd.T
+            if self.bias is not None:
+                out_data = out_data + self.bias.data
         if not grad_on:
             return Tensor(out_data)
         weight, bias = self.weight, self.bias
@@ -325,18 +370,31 @@ class BatchNorm2d(Module):
         self.beta = Parameter(np.zeros(channels))
         self.running_mean = np.zeros(channels)
         self.running_var = np.ones(channels)
+        #: data-parallel hook: when set, training forwards report the
+        #: batch statistics here instead of folding them into the running
+        #: averages directly (the parallel trainer replays all shards'
+        #: stats in canonical order on every rank).
+        self.stats_sink = None
+
+    def _update_stats(self, mean: np.ndarray, var: np.ndarray) -> None:
+        if self.stats_sink is None:
+            self.running_mean += self.momentum * (mean - self.running_mean)
+            self.running_var += self.momentum * (var - self.running_var)
+        else:
+            self.stats_sink(self, mean, var)
 
     def forward(self, x: Tensor) -> Tensor:
         if x.ndim != 4 or x.shape[1] != self.channels:
             raise ValueError(
                 f"BatchNorm2d({self.channels}) got input of shape {x.shape}"
             )
+        if is_fused() and self.training:
+            return self._forward_fused(x)
         axes = (0, 2, 3)
         if self.training:
             mean = x.data.mean(axis=axes)
             var = x.data.var(axis=axes)
-            self.running_mean += self.momentum * (mean - self.running_mean)
-            self.running_var += self.momentum * (var - self.running_var)
+            self._update_stats(mean, var)
         else:
             mean, var = self.running_mean, self.running_var
         std = np.sqrt(var + self.eps)
@@ -362,6 +420,54 @@ class BatchNorm2d(Module):
             else:
                 dx = (g / std[None, :, None, None]) * grad
             x.accumulate_grad(dx)
+
+        return Tensor(out_data, parents=(x,), backward=bwd)
+
+    def _forward_fused(self, x: Tensor) -> Tensor:
+        """Training forward/backward through arena buffers.
+
+        Bit-identical to the reference path: the normalisation temporaries
+        use ``take_like`` buffers that mirror the activation view's memory
+        layout (reductions are iteration-order sensitive), while the
+        backward temporaries are C-contiguous like the incoming gradient.
+        """
+        axes = (0, 2, 3)
+        arena = step_arena()
+        xd = x.data
+        mean = xd.mean(axis=axes)
+        mean4 = mean[None, :, None, None]
+        d = arena.take_like(xd)
+        np.subtract(xd, mean4, out=d)
+        sq = arena.take_like(xd)
+        np.multiply(d, d, out=sq)
+        var = sq.mean(axis=axes)
+        self._update_stats(mean, var)
+        std = np.sqrt(var + self.eps)
+        std4 = std[None, :, None, None]
+        np.divide(d, std4, out=d)
+        xhat = d
+        out_data = arena.take_like(xd)
+        np.multiply(self.gamma.data[None, :, None, None], xhat, out=out_data)
+        out_data += self.beta.data[None, :, None, None]
+        if not is_grad_enabled():
+            return Tensor(out_data)
+        gamma, beta = self.gamma, self.beta
+
+        def bwd(grad: np.ndarray) -> None:
+            t = arena.take(grad.shape, grad.dtype)
+            np.multiply(grad, xhat, out=t)
+            gamma.grad += t.sum(axis=axes)
+            beta.grad += grad.sum(axis=axes)
+            if not x.requires_grad:
+                return
+            mean_g = grad.mean(axis=axes, keepdims=True)
+            mean_gx = t.mean(axis=axes, keepdims=True)
+            v = arena.take(grad.shape, grad.dtype)
+            np.subtract(grad, mean_g, out=v)
+            np.multiply(xhat, mean_gx, out=t)
+            np.subtract(v, t, out=v)
+            np.multiply(gamma.data[None, :, None, None] / std4, v, out=v)
+            x.accumulate_grad(v, donate=True)
 
         return Tensor(out_data, parents=(x,), backward=bwd)
 

@@ -15,11 +15,15 @@ import numpy as np
 
 __all__ = [
     "Tensor",
+    "BufferArena",
     "get_default_dtype",
     "set_default_dtype",
     "default_dtype",
     "no_grad",
     "is_grad_enabled",
+    "fused_mode",
+    "is_fused",
+    "step_arena",
 ]
 
 #: float32 keeps NumPy training ~2x faster; tests that need numeric
@@ -87,10 +91,117 @@ def no_grad():
         _GRAD_ENABLED = old
 
 
+#: when True, layers route through their fused hot paths: forward and
+#: backward work runs through preallocated step-arena buffers and
+#: in-place ``out=`` ufunc/GEMM calls instead of fresh allocations.  The
+#: produced numbers are bit-identical to the reference path (asserted by
+#: tests/test_nn_fused.py); only the memory traffic changes.  Toggled by
+#: :func:`fused_mode` around the training loop.
+_FUSED = False
+
+
+def is_fused() -> bool:
+    """Whether the fused (preallocated-buffer) hot paths are active."""
+    return _FUSED
+
+
+@contextlib.contextmanager
+def fused_mode(enabled: bool = True):
+    """Enable the fused training hot paths inside the block.
+
+    The trainer wraps each epoch's batch loop in this context (when
+    ``TrainConfig.fused`` is on) and calls ``step_arena().reset()`` after
+    every optimiser step, so each step replays the same deterministic
+    sequence of buffer grants and every large temporary is reused across
+    steps instead of reallocated.
+    """
+    global _FUSED
+    old = _FUSED
+    _FUSED = enabled
+    try:
+        yield
+    finally:
+        _FUSED = old
+
+
+class BufferArena:
+    """Deterministic per-step scratch allocator for the fused hot paths.
+
+    ``take(shape, dtype)`` hands out a buffer from a per-(shape, dtype)
+    free list and advances a cursor; ``reset()`` rewinds all cursors.
+    Within one training step every ``take`` returns a *distinct* buffer
+    (so aliasing between live temporaries is impossible); across steps
+    the same call sequence receives the same warm buffers, eliminating
+    the allocation and page-fault traffic of the reference path.  Buffers
+    granted during a step stay valid until the next ``reset()`` — the
+    trainer resets only after the optimiser step, so autograd closures
+    may freely capture arena buffers.
+    """
+
+    __slots__ = ("_pools", "_cursors")
+
+    def __init__(self) -> None:
+        self._pools: dict[tuple, list[np.ndarray]] = {}
+        self._cursors: dict[tuple, int] = {}
+
+    def take(self, shape: tuple[int, ...], dtype) -> np.ndarray:
+        key = (shape, None, np.dtype(dtype).str)
+        return self._grant(key, shape, dtype, None)
+
+    def take_like(self, a: np.ndarray) -> np.ndarray:
+        """A buffer matching ``a``'s shape, dtype *and* memory layout.
+
+        The fused paths must reproduce the reference path's memory order
+        bit-for-bit: pairwise-summation reductions depend on iteration
+        order, and ufuncs keep their input's layout — so keep-order
+        outputs (the batch-norm temporaries over the conv layers'
+        transposed activation views) need buffers with matching strides,
+        not C-contiguous ones.
+        """
+        if a.flags.c_contiguous:
+            return self.take(a.shape, a.dtype)
+        key = (a.shape, a.strides, np.dtype(a.dtype).str)
+        return self._grant(key, a.shape, a.dtype, a)
+
+    def _grant(self, key, shape, dtype, like) -> np.ndarray:
+        pool = self._pools.get(key)
+        if pool is None:
+            pool = []
+            self._pools[key] = pool
+            self._cursors[key] = 0
+        i = self._cursors[key]
+        self._cursors[key] = i + 1
+        if i < len(pool):
+            return pool[i]
+        # order="K" replicates a permuted-dense layout (same strides).
+        buf = np.empty(shape, dtype=dtype) if like is None else np.empty_like(like)
+        pool.append(buf)
+        return buf
+
+    def reset(self) -> None:
+        """Rewind all cursors (start of a new training step)."""
+        for key in self._cursors:
+            self._cursors[key] = 0
+
+    def clear(self) -> None:
+        """Drop every pooled buffer (frees memory between experiments)."""
+        self._pools.clear()
+        self._cursors.clear()
+
+
+_STEP_ARENA = BufferArena()
+
+
+def step_arena() -> BufferArena:
+    """The process-wide arena used by the fused training paths."""
+    return _STEP_ARENA
+
+
 class Tensor:
     """An autograd node: value + gradient + backward closure."""
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __slots__ = ("data", "grad", "requires_grad", "skip_grad", "_backward",
+                 "_parents", "name")
 
     def __init__(
         self,
@@ -102,6 +213,11 @@ class Tensor:
     ):
         self.data = np.asarray(data, dtype=_DEFAULT_DTYPE)
         self.grad: np.ndarray | None = None
+        #: when True, backward passes skip *producing* this leaf's input
+        #: gradient (the value itself is unchanged — it is simply never
+        #: materialised).  Set by the trainer on the batch-input tensor,
+        #: whose gradient nothing consumes; layer backwards honour it.
+        self.skip_grad = False
         if _GRAD_ENABLED:
             self.requires_grad = requires_grad or any(p.requires_grad for p in parents)
             self._parents = parents
@@ -129,14 +245,29 @@ class Tensor:
     # ------------------------------------------------------------------ #
     # autograd machinery
     # ------------------------------------------------------------------ #
-    def accumulate_grad(self, grad: np.ndarray) -> None:
-        """Add an incoming gradient contribution (creating storage lazily)."""
+    def accumulate_grad(self, grad: np.ndarray, donate: bool = False) -> None:
+        """Add an incoming gradient contribution (creating storage lazily).
+
+        ``donate=True`` transfers ownership of ``grad`` to this tensor
+        when it is the first contribution — callers holding a contiguous
+        buffer nothing else will touch (the fused layer backwards) use it
+        to skip the defensive copy.  Donated buffers must match the
+        layout a fresh ``grad.copy()`` would have produced (C-contiguous)
+        so downstream reductions see identical memory order.
+        """
         if grad.shape != self.data.shape:
             raise ValueError(
                 f"gradient shape {grad.shape} does not match tensor {self.data.shape}"
             )
         if self.grad is None:
-            self.grad = grad.copy()
+            if donate:
+                self.grad = grad
+            elif _FUSED:
+                buf = _STEP_ARENA.take(grad.shape, grad.dtype)
+                np.copyto(buf, grad)
+                self.grad = buf
+            else:
+                self.grad = grad.copy()
         else:
             self.grad += grad
 

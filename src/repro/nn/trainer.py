@@ -18,7 +18,7 @@ import numpy as np
 from repro.nn import functional as F
 from repro.nn.layers import Module
 from repro.nn.optim import SGD, cosine_lr
-from repro.nn.tensor import Tensor, no_grad
+from repro.nn.tensor import Tensor, fused_mode, no_grad, step_arena
 from repro.nn.data import SyntheticDataset
 from repro.telemetry import Telemetry, null_telemetry
 from repro.utils.config import TrainConfig
@@ -74,27 +74,44 @@ class Trainer:
         )
         x, y = self.dataset.x_train, self.dataset.y_train
         order = self.rng.permutation(len(y))
-        losses: list[float] = []
         tel = self.telemetry
         # Per-step timing is profiling-only: one perf_counter pair plus a
         # histogram observe per *batch* is cheap, but the hot-loop
         # discipline says the default path adds nothing at all.
         profiling = tel.enabled and tel.profile
-        for start in range(0, len(y), cfg.batch_size):
-            t_step = time.perf_counter() if profiling else 0.0
-            idx = order[start : start + cfg.batch_size]
-            xb = Tensor(x[idx], requires_grad=True)
-            logits = self.model(xb)
-            loss = F.softmax_cross_entropy(logits, y[idx])
-            self.optimizer.zero_grad()
-            loss.backward()
-            self.optimizer.step()
-            if self.post_step is not None:
-                self.post_step()
-            losses.append(float(loss.data))
-            if profiling:
-                tel.observe("train.step_seconds", time.perf_counter() - t_step)
-        return float(np.mean(losses))
+        fused = cfg.fused
+        # The epoch loss weights every per-batch loss by its batch size,
+        # so the trailing partial batch does not bias the mean.
+        total_loss = 0.0
+        total_n = 0
+        grant_ctx = fused_mode() if fused else contextlib.nullcontext()
+        arena = step_arena() if fused else None
+        with grant_ctx:
+            for start in range(0, len(y), cfg.batch_size):
+                t_step = time.perf_counter() if profiling else 0.0
+                idx = order[start : start + cfg.batch_size]
+                xb = Tensor(x[idx], requires_grad=True)
+                if fused:
+                    # Nothing consumes the batch input's gradient; skip
+                    # the first conv's col2im fold entirely.
+                    xb.skip_grad = True
+                logits = self.model(xb)
+                loss = F.softmax_cross_entropy(logits, y[idx])
+                self.optimizer.zero_grad()
+                loss.backward()
+                self.optimizer.step()
+                if self.post_step is not None:
+                    self.post_step()
+                if arena is not None:
+                    # Backward is complete and the weights are stepped:
+                    # every arena temporary is dead; rewind for reuse.
+                    arena.reset()
+                nb = len(idx)
+                total_loss += float(loss.data) * nb
+                total_n += nb
+                if profiling:
+                    tel.observe("train.step_seconds", time.perf_counter() - t_step)
+        return total_loss / total_n
 
     def evaluate(self, x: np.ndarray | None = None, y: np.ndarray | None = None) -> float:
         """Top-1 accuracy on the test split (or a supplied set).

@@ -213,6 +213,19 @@ class LayerCopyMapping:
         self._scale_epoch["weight"] += 1
         self._scale_epoch["grad"] += 1
 
+    def adopt_grad_scales(self, scales: np.ndarray) -> None:
+        """Overwrite the gradient-path calibration wholesale.
+
+        Used by data-parallel training to replicate the canonical rank's
+        lazily-calibrated gradient ADC ranges: the range is frozen at the
+        first gradient a (re)written block sees, so replicas that did not
+        execute that gradient themselves must adopt the calibrated values
+        instead of calibrating from their own (different) shard.
+        """
+        flat = np.asarray(scales, dtype=np.float64)
+        self.grad_scales = flat.reshape(self.grad_scales.shape).copy()
+        self._scale_epoch["grad"] += 1
+
     # ------------------------------------------------------------------ #
     # stuck-cell overlays
     # ------------------------------------------------------------------ #

@@ -208,6 +208,23 @@ class TrainConfig:
     #: (no_grad) evaluation.  Results are bit-identical either way —
     #: the switch exists for the equivalence tests and benchmarks.
     eval_fastpath: bool = True
+    #: route training through the fused hot loop: one effective-weight
+    #: probe per (step, layer), arena-pooled temporaries and in-place
+    #: ``out=`` GEMM/ufunc calls.  Results are bit-identical to the
+    #: ``fused=False`` reference path (asserted by tests/test_nn_fused.py);
+    #: the switch exists for the equivalence tests and benchmarks.
+    fused: bool = True
+    #: number of data-parallel training worker processes (0 or 1 =
+    #: single-process).  Each batch is split into ``grad_shards``
+    #: micro-shards distributed round-robin over the workers and the
+    #: gradients all-reduced, so results depend on ``grad_shards`` but
+    #: NOT on the worker count — any N gives the 1-worker bits.
+    #: Overridable at run time via ``REPRO_TRAIN_WORKERS``.
+    data_parallel: int = 0
+    #: fixed micro-shard count per batch for data-parallel training.
+    #: Part of the numerical recipe (per-shard batch-norm statistics and
+    #: loss scaling), independent of how many workers execute the shards.
+    grad_shards: int = 4
 
     def __post_init__(self) -> None:
         if self.epochs <= 0 or self.batch_size <= 0:
@@ -220,6 +237,15 @@ class TrainConfig:
             raise ValueError("dataset sizes must be positive")
         if self.dtype not in ("float32", "float64"):
             raise ValueError("dtype must be 'float32' or 'float64'")
+        if self.data_parallel < 0:
+            raise ValueError("data_parallel must be >= 0 (0 = single process)")
+        if self.grad_shards <= 0:
+            raise ValueError("grad_shards must be positive")
+        if self.data_parallel > self.grad_shards:
+            raise ValueError(
+                "data_parallel workers cannot exceed grad_shards "
+                f"({self.data_parallel} > {self.grad_shards})"
+            )
 
 
 @dataclass

@@ -20,6 +20,16 @@ class TestParser:
         assert args.timeout is None and args.retries is None
         assert args.resume is None
 
+    def test_train_workers_flag_reaches_config(self):
+        from repro.cli import _config_from
+
+        args = build_parser().parse_args(
+            ["run", "--train-workers", "2", "--grad-shards", "8"])
+        assert args.train_workers == 2 and args.grad_shards == 8
+        config = _config_from(args, "remap-d")
+        assert config.train.data_parallel == 2
+        assert config.train.grad_shards == 8
+
 
 class TestBistValidation:
     def test_fault_budget_over_cell_count_is_a_clear_error(self, capsys):

@@ -1,0 +1,149 @@
+"""Fused hot-loop equivalence: ``TrainConfig.fused`` changes speed only.
+
+The fused path probes the crossbar engine once per (step, layer) via
+``step_weights``, routes temporaries through the step arena and uses
+in-place GEMM/ufunc kernels — but every float it produces must be
+bit-identical to the ``fused=False`` reference autograd path.  These
+tests train complete (tiny) experiments both ways, with faults, BIST
+and remapping active, and compare losses, accuracies and every final
+parameter exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.controller import apply_epoch_end, build_experiment
+from repro.utils.config import (
+    ChipConfig,
+    CrossbarConfig,
+    ExperimentConfig,
+    FaultConfig,
+    TrainConfig,
+)
+
+
+def _config(fused: bool, policy: str = "remap-d", **train_kw) -> ExperimentConfig:
+    train = dict(
+        model="vgg11", epochs=2, batch_size=16, n_train=48, n_test=32,
+        width_mult=0.125, fused=fused,
+    )
+    train.update(train_kw)
+    return ExperimentConfig(
+        train=TrainConfig(**train),
+        chip=ChipConfig(crossbar=CrossbarConfig(rows=32, cols=32)),
+        faults=FaultConfig(post_n=0.5, post_m=0.01),
+        policy=policy,
+        seed=11,
+    )
+
+
+def _run(config: ExperimentConfig):
+    """Full training run with the controller's epoch-end transition.
+
+    Returns (per-epoch losses, test accuracy, final parameter arrays,
+    final batch-norm running statistics).
+    """
+    ctx = build_experiment(config)
+    trainer = ctx.trainer
+    bist_rng = ctx.rng_hub.stream("bist")
+    losses = []
+    for epoch in range(config.train.epochs):
+        losses.append(trainer.train_epoch(epoch))
+        apply_epoch_end(ctx, bist_rng, epoch, trainer)
+    acc = trainer.evaluate()
+    params = [p.data.copy() for p in trainer.optimizer.parameters]
+    from repro.nn.layers import BatchNorm2d
+
+    bn_stats = [
+        (m.running_mean.copy(), m.running_var.copy())
+        for _, m in ctx.model.named_modules()
+        if isinstance(m, BatchNorm2d)
+    ]
+    return losses, acc, params, bn_stats
+
+
+class TestFusedEquivalence:
+    @pytest.mark.parametrize("policy", ["none", "remap-d"])
+    def test_full_run_bit_identical(self, policy):
+        ref = _run(_config(fused=False, policy=policy))
+        fus = _run(_config(fused=True, policy=policy))
+        assert ref[0] == fus[0], "per-epoch losses diverged"
+        assert ref[1] == fus[1], "test accuracy diverged"
+        for a, b in zip(ref[2], fus[2]):
+            np.testing.assert_array_equal(a, b)
+        for (ma, va), (mb, vb) in zip(ref[3], fus[3]):
+            np.testing.assert_array_equal(ma, mb)
+            np.testing.assert_array_equal(va, vb)
+
+    def test_ideal_policy_bit_identical(self):
+        """No faults bound at all — the pure-autograd fast path."""
+        ref = _run(_config(fused=False, policy="ideal", epochs=1))
+        fus = _run(_config(fused=True, policy="ideal", epochs=1))
+        assert ref[0] == fus[0]
+        for a, b in zip(ref[2], fus[2]):
+            np.testing.assert_array_equal(a, b)
+
+    def test_float64_bit_identical(self):
+        ref = _run(_config(fused=False, dtype="float64", epochs=1))
+        fus = _run(_config(fused=True, dtype="float64", epochs=1))
+        assert ref[0] == fus[0]
+        for a, b in zip(ref[2], fus[2]):
+            np.testing.assert_array_equal(a, b)
+
+
+class TestEngineCaches:
+    def test_reset_cache_stats_zeroes_counters(self):
+        ctx = build_experiment(_config(fused=True, epochs=1))
+        ctx.trainer.train_epoch(0)
+        stats = ctx.engine.cache_stats()
+        assert sum(stats.values()) > 0
+        ctx.engine.reset_cache_stats()
+        assert ctx.engine.cache_stats() == {
+            "hits": 0, "misses": 0, "recomputes": 0,
+        }
+
+    def test_invalidate_drops_step_cache_and_buffers(self):
+        ctx = build_experiment(_config(fused=True, epochs=1))
+        ctx.trainer.train_epoch(0)
+        engine = ctx.engine
+        assert engine._step_cache and engine._eff_buffers
+        engine.invalidate_weight_cache()
+        assert not engine._step_cache
+        assert not engine._eff_buffers
+        # Training still works (and re-populates) after invalidation.
+        ctx.trainer.train_epoch(0)
+        assert engine._step_cache
+
+
+class TestGradScaleReplication:
+    def test_stale_until_first_backward_then_exportable(self):
+        ctx = build_experiment(_config(fused=True, epochs=1))
+        engine = ctx.engine
+        count = engine.grad_scale_count()
+        assert count > 0
+        assert engine.grad_scales_stale()
+        out = np.empty(count)
+        engine.export_grad_scales(out)
+        assert np.isnan(out).any()
+        ctx.trainer.train_epoch(0)
+        assert not engine.grad_scales_stale()
+        engine.export_grad_scales(out)
+        assert np.isfinite(out).all()
+
+    def test_import_adopts_calibrated_scales(self):
+        cfg = _config(fused=True, epochs=1)
+        src = build_experiment(cfg)
+        src.trainer.train_epoch(0)
+        scales = np.empty(src.engine.grad_scale_count())
+        src.engine.export_grad_scales(scales)
+        dst = build_experiment(cfg)
+        assert dst.engine.grad_scales_stale()
+        dst.engine.import_grad_scales(scales)
+        assert not dst.engine.grad_scales_stale()
+        back = np.empty_like(scales)
+        dst.engine.export_grad_scales(back)
+        np.testing.assert_array_equal(scales, back)
+
+    def test_never_stale_without_faults(self):
+        ctx = build_experiment(_config(fused=True, policy="ideal", epochs=1))
+        assert not ctx.engine.grad_scales_stale()
