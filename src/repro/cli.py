@@ -10,6 +10,8 @@ Examples::
     python -m repro overheads
     python -m repro bist --sa0 150 --sa1 20
     python -m repro report run.jsonl --chrome-trace run.chrome.json
+    python -m repro serve --bench --mode open --rate 300 --duration 5 \\
+        --replicas 2 --out serve.json
 
 Every command prints plain-text tables (and, where helpful, ASCII bars)
 so the tool is usable over ssh on the machine actually running the sims.
@@ -320,6 +322,132 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+class _GracefulExit(Exception):
+    """Raised by the serve signal handlers to unwind into the drain path."""
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the inference service (optionally driving benchmark load).
+
+    SIGTERM and SIGINT both take the graceful path: stop accepting new
+    requests, finish every queued and in-flight batch, flush the
+    telemetry trace, exit 0.
+    """
+    import json
+    import signal
+    import time
+    from dataclasses import replace
+
+    from repro.serve import InferenceServer, ServeConfig, run_loadgen
+
+    config = _config_from(args, args.policy)
+    # Pin the inference batch to the serving slot count so evaluate() and
+    # the serving plane share the exact same GEMM shapes.
+    config = replace(
+        config, train=replace(config.train, eval_batch=args.max_batch)
+    )
+    serve_cfg = ServeConfig(
+        max_batch=args.max_batch,
+        max_wait_us=args.max_wait_us,
+        replicas=args.replicas,
+        workers=args.replica_workers,
+        chaos=args.chaos,
+    )
+    tel = _make_telemetry(args)
+    server = InferenceServer(config, serve_cfg, telemetry=tel)
+    if not args.quiet:
+        print(
+            f"serving {args.model} on {args.replicas} replica(s) "
+            f"({'process' if args.replica_workers else 'in-process'}), "
+            f"max_batch={args.max_batch} max_wait={args.max_wait_us:.0f}us",
+            file=sys.stderr,
+        )
+
+    def _on_signal(signum, frame):
+        raise _GracefulExit()
+
+    old_term = signal.signal(signal.SIGTERM, _on_signal)
+    old_int = signal.signal(signal.SIGINT, _on_signal)
+    result = None
+    interrupted = False
+    try:
+        if args.bench:
+            result = run_loadgen(
+                server,
+                mode=args.mode,
+                rate=args.rate,
+                concurrency=args.concurrency,
+                duration_s=args.duration,
+                seed=args.seed,
+            )
+        else:
+            # Idle service mode: hold the replicas hot until a signal
+            # (or --duration elapses); callers drive via the API.
+            t_end = (time.perf_counter() + args.duration
+                     if args.duration > 0 else None)
+            while t_end is None or time.perf_counter() < t_end:
+                time.sleep(0.2)
+    except _GracefulExit:
+        interrupted = True
+        if not args.quiet:
+            print("signal received: draining in-flight requests...",
+                  file=sys.stderr)
+    finally:
+        server.close(drain=True)
+        signal.signal(signal.SIGTERM, old_term)
+        signal.signal(signal.SIGINT, old_int)
+
+    counters = tel.counters
+    rows = [
+        ["completed requests", counters.get("serve.completed", 0), ""],
+        ["failed requests", counters.get("serve.failed", 0), ""],
+        ["batches", counters.get("serve.batches", 0), ""],
+        ["retries (replica deaths)", counters.get("serve.retries", 0), ""],
+        ["online remaps", counters.get("serve.remaps_online", 0), ""],
+        ["drained on shutdown", "yes" if interrupted else "n/a", ""],
+    ]
+    hits = counters.get("engine.cache_hits", 0)
+    misses = counters.get("engine.cache_misses", 0)
+    if hits + misses:
+        rows.append(["engine cache hit-rate",
+                     f"{100 * hits / (hits + misses):.1f}%",
+                     f"{hits} hits / {misses} misses"])
+    if result is not None:
+        lat = result.latency_ms
+        rows.extend([
+            ["mode", result.mode,
+             (f"rate={result.offered_rate}/s" if result.mode == "open"
+              else f"concurrency={result.concurrency}")],
+            ["throughput", f"{result.throughput_rps:.1f} req/s",
+             f"{result.completed} in {result.duration_s:.2f}s"],
+            ["latency p50/p90/p99 (ms)",
+             f"{lat.get('p50', 0):.2f} / {lat.get('p90', 0):.2f} / "
+             f"{lat.get('p99', 0):.2f}",
+             f"max={lat.get('max', 0):.2f}"],
+        ])
+    print(render_table(["quantity", "value", "detail"], rows,
+                       title="serving summary"))
+    if result is not None and args.out:
+        payload = {
+            "model": args.model,
+            "policy": args.policy,
+            "serve": {
+                "max_batch": args.max_batch,
+                "max_wait_us": args.max_wait_us,
+                "replicas": args.replicas,
+                "workers": args.replica_workers,
+            },
+            "load": result.to_dict(),
+            "counters": {k: v for k, v in sorted(counters.items())},
+        }
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+        if not args.quiet:
+            print(f"results: -> {args.out}", file=sys.stderr)
+    _finish_trace(tel, args)
+    return 0
+
+
 def _cmd_overheads(args: argparse.Namespace) -> int:
     from repro.area.models import bist_area_overhead, policy_area_overhead
     from repro.bist.march import march_cost_cycles
@@ -445,6 +573,43 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also export Chrome trace-event JSON for "
                             "Perfetto / chrome://tracing")
     p_rep.set_defaults(func=_cmd_report)
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="run the micro-batched, degradation-aware inference service "
+             "(--bench drives open/closed-loop load and reports p50/p90/p99)",
+    )
+    _experiment_args(p_srv)
+    p_srv.add_argument("--policy", choices=POLICY_NAMES, default="remap-d")
+    p_srv.add_argument("--max-batch", type=int, default=32,
+                       help="serving slot count: every forward runs at "
+                            "this fixed batch shape (bit-determinism)")
+    p_srv.add_argument("--max-wait-us", type=float, default=2000.0,
+                       help="micro-batcher coalescing budget after the "
+                            "first request of a batch")
+    p_srv.add_argument("--replicas", type=int, default=1)
+    p_srv.add_argument("--replica-workers", action="store_true",
+                       help="run replicas as persistent worker processes "
+                            "with shared-memory tensor transport")
+    p_srv.add_argument("--chaos", metavar="SPEC", default=None,
+                       help="inject a mid-traffic fault wave, e.g. "
+                            "'faults:20' after 20 batches (also via the "
+                            "REPRO_SERVE_CHAOS env var)")
+    p_srv.add_argument("--bench", action="store_true",
+                       help="drive load and report latency percentiles")
+    p_srv.add_argument("--mode", choices=["open", "closed"], default="open",
+                       help="open: Poisson arrivals at --rate; closed: "
+                            "--concurrency blocked clients")
+    p_srv.add_argument("--rate", type=float, default=200.0,
+                       help="open-loop offered rate (req/s)")
+    p_srv.add_argument("--concurrency", type=int, default=8,
+                       help="closed-loop client count")
+    p_srv.add_argument("--duration", type=float, default=5.0,
+                       help="bench duration / service lifetime in seconds "
+                            "(0 = until SIGTERM, service mode only)")
+    p_srv.add_argument("--out", metavar="PATH", default=None,
+                       help="write bench results JSON here")
+    p_srv.set_defaults(func=_cmd_serve)
 
     p_ovh = sub.add_parser("overheads", help="print hardware overheads")
     p_ovh.set_defaults(func=_cmd_overheads)

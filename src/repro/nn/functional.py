@@ -8,6 +8,8 @@ weight matrices (different ones for the forward and the backward MVM).
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from repro.nn.tensor import Tensor, is_fused, is_grad_enabled, step_arena
@@ -34,23 +36,31 @@ __all__ = [
 #: reusable scratch arrays for the unfold/fold temporaries, keyed by
 #: (tag, shape, dtype).  Conv layers hit the same handful of shapes every
 #: batch, so the pool stays small while eliminating the largest per-batch
-#: allocations.  Single-threaded per process (the parallel benchmark
-#: runner forks whole processes, each with its own pool).
-_SCRATCH: dict[tuple, np.ndarray] = {}
+#: allocations.  The pool is *per thread*: the serving plane runs one
+#: forward per replica thread concurrently, and identical shapes on two
+#: threads must never share a buffer (the parallel benchmark runner forks
+#: whole processes, each with its own pools).
+_SCRATCH_TLS = threading.local()
 
 
 def _scratch(tag: str, shape: tuple[int, ...], dtype) -> np.ndarray:
+    pool = getattr(_SCRATCH_TLS, "pool", None)
+    if pool is None:
+        pool = _SCRATCH_TLS.pool = {}
     key = (tag, shape, np.dtype(dtype).str)
-    buf = _SCRATCH.get(key)
+    buf = pool.get(key)
     if buf is None:
         buf = np.empty(shape, dtype=dtype)
-        _SCRATCH[key] = buf
+        pool[key] = buf
     return buf
 
 
 def clear_scratch() -> None:
-    """Drop all cached scratch buffers (frees memory between experiments)."""
-    _SCRATCH.clear()
+    """Drop this thread's cached scratch buffers (frees memory between
+    experiments; other threads' pools are theirs to clear)."""
+    pool = getattr(_SCRATCH_TLS, "pool", None)
+    if pool is not None:
+        pool.clear()
 
 
 def conv_output_size(size: int, kernel: int, stride: int, pad: int) -> int:

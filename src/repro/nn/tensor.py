@@ -9,6 +9,7 @@ tensors through the primitives here and in :mod:`repro.nn.functional`;
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Iterable
 
 import numpy as np
@@ -63,12 +64,15 @@ def default_dtype(dtype):
 
 #: when False, new tensors record no parents/backward closures — forward
 #: passes build no graph (inference mode).  Toggled by :func:`no_grad`.
-_GRAD_ENABLED = True
+#: Per-thread state: serving replicas run concurrent no-grad forwards on
+#: worker threads, and one thread leaving the context must not re-enable
+#: graph capture under another mid-forward.
+_MODE_TLS = threading.local()
 
 
 def is_grad_enabled() -> bool:
     """Whether new tensors currently capture the autograd graph."""
-    return _GRAD_ENABLED
+    return getattr(_MODE_TLS, "grad", True)
 
 
 @contextlib.contextmanager
@@ -82,13 +86,12 @@ def no_grad():
     inference inside the block is both faster and allocation-free on the
     hot shapes.
     """
-    global _GRAD_ENABLED
-    old = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    old = getattr(_MODE_TLS, "grad", True)
+    _MODE_TLS.grad = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = old
+        _MODE_TLS.grad = old
 
 
 #: when True, layers route through their fused hot paths: forward and
@@ -96,13 +99,14 @@ def no_grad():
 #: in-place ``out=`` ufunc/GEMM calls instead of fresh allocations.  The
 #: produced numbers are bit-identical to the reference path (asserted by
 #: tests/test_nn_fused.py); only the memory traffic changes.  Toggled by
-#: :func:`fused_mode` around the training loop.
-_FUSED = False
+#: :func:`fused_mode` around the training loop.  Per-thread, like the
+#: grad flag: a fused training loop on one thread must not reroute a
+#: serving forward on another through the arena paths.
 
 
 def is_fused() -> bool:
     """Whether the fused (preallocated-buffer) hot paths are active."""
-    return _FUSED
+    return getattr(_MODE_TLS, "fused", False)
 
 
 @contextlib.contextmanager
@@ -115,13 +119,12 @@ def fused_mode(enabled: bool = True):
     sequence of buffer grants and every large temporary is reused across
     steps instead of reallocated.
     """
-    global _FUSED
-    old = _FUSED
-    _FUSED = enabled
+    old = getattr(_MODE_TLS, "fused", False)
+    _MODE_TLS.fused = enabled
     try:
         yield
     finally:
-        _FUSED = old
+        _MODE_TLS.fused = old
 
 
 class BufferArena:
@@ -218,7 +221,7 @@ class Tensor:
         #: materialised).  Set by the trainer on the batch-input tensor,
         #: whose gradient nothing consumes; layer backwards honour it.
         self.skip_grad = False
-        if _GRAD_ENABLED:
+        if getattr(_MODE_TLS, "grad", True):
             self.requires_grad = requires_grad or any(p.requires_grad for p in parents)
             self._parents = parents
             self._backward = backward
@@ -262,7 +265,7 @@ class Tensor:
         if self.grad is None:
             if donate:
                 self.grad = grad
-            elif _FUSED:
+            elif getattr(_MODE_TLS, "fused", False):
                 buf = _STEP_ARENA.take(grad.shape, grad.dtype)
                 np.copyto(buf, grad)
                 self.grad = buf

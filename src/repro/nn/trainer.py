@@ -113,30 +113,63 @@ class Trainer:
                     tel.observe("train.step_seconds", time.perf_counter() - t_step)
         return total_loss / total_n
 
-    def evaluate(self, x: np.ndarray | None = None, y: np.ndarray | None = None) -> float:
-        """Top-1 accuracy on the test split (or a supplied set).
+    def eval_batch_size(self) -> int:
+        """Resolved inference batch: ``TrainConfig.eval_batch`` or auto."""
+        if self.config.eval_batch > 0:
+            return self.config.eval_batch
+        return max(self.config.batch_size, 64)
+
+    def predict(
+        self,
+        x: np.ndarray,
+        batch: int | None = None,
+        pad_to: int | None = None,
+    ) -> np.ndarray:
+        """Logits for a batch of inputs (inference mode, cache-hot).
 
         Runs in inference mode by default (``TrainConfig.eval_fastpath``):
         no autograd graph, no backward-copy weight clamp, and the crossbar
         engine serves its cached effective weights for every batch after
         the first.  The produced logits are identical to the graph-building
         path — asserted by ``tests/test_nn_eval_cache.py``.
+
+        ``batch`` overrides the resolved :meth:`eval_batch_size`.
+        ``pad_to`` zero-pads every micro-batch to a fixed row count before
+        the forward and slices the padding back off.  BLAS kernels are not
+        bit-stable across GEMM shapes, so a fixed padded shape is what
+        makes logits *bit-identical* regardless of how a set of inputs is
+        split into batches — the property the serving micro-batcher relies
+        on (``tests/test_serve.py``).
+        """
+        b = batch if batch is not None else self.eval_batch_size()
+        self.model.eval()
+        grad_ctx = no_grad() if self.config.eval_fastpath else contextlib.nullcontext()
+        outputs: list[np.ndarray] = []
+        with grad_ctx:
+            for start in range(0, len(x), b):
+                xb = x[start : start + b]
+                n = len(xb)
+                if pad_to is not None and n < pad_to:
+                    padded = np.zeros((pad_to,) + xb.shape[1:], dtype=xb.dtype)
+                    padded[:n] = xb
+                    xb = padded
+                logits = self.model(Tensor(xb)).data
+                outputs.append(np.array(logits[:n], copy=True))
+        if not outputs:
+            raise ValueError("predict() needs at least one input sample")
+        return outputs[0] if len(outputs) == 1 else np.concatenate(outputs, axis=0)
+
+    def evaluate(self, x: np.ndarray | None = None, y: np.ndarray | None = None) -> float:
+        """Top-1 accuracy on the test split (or a supplied set).
+
+        A thin argmax wrapper over :meth:`predict` — serving and
+        evaluation share one inference surface.
         """
         if x is None:
             x, y = self.dataset.x_test, self.dataset.y_test
         assert y is not None
-        self.model.eval()
-        batch = max(self.config.batch_size, 64)
-        correct = 0
-        grad_ctx = no_grad() if self.config.eval_fastpath else contextlib.nullcontext()
-        with grad_ctx:
-            for start in range(0, len(y), batch):
-                xb = Tensor(x[start : start + batch])
-                logits = self.model(xb)
-                correct += int(
-                    (logits.data.argmax(axis=1) == y[start : start + batch]).sum()
-                )
-        return correct / len(y)
+        logits = self.predict(x)
+        return int((logits.argmax(axis=1) == y).sum()) / len(y)
 
     def num_batches(self) -> int:
         n = len(self.dataset.y_train)

@@ -1,0 +1,55 @@
+"""`repro serve`: dynamically-batched, degradation-aware inference serving.
+
+The north-star scenario of the ROADMAP, assembled from parts the repo
+already has: a long-lived service that pushes requests through the
+no-grad eval fast path and the version-keyed effective-weight cache,
+routes work away from degraded replicas using per-tile health samples,
+and performs the paper's dynamic remap *online* between request waves
+when new faults land mid-traffic.
+
+Layers (bottom up):
+
+* :mod:`repro.serve.replica` — a replica is one full experiment stack
+  (chip + faults + policy + model) serving fixed-shape batched forwards;
+  either in-process (:class:`LocalReplica`) or a persistent cache-hot
+  worker process with shared-memory tensor transport
+  (:class:`ProcessReplica` — no per-request pickling of activations);
+* :mod:`repro.serve.batcher` — the dynamic micro-batcher: coalesces
+  queued requests up to ``max_batch`` / ``max_wait_us`` into one
+  ``no_grad`` forward;
+* :mod:`repro.serve.router` — health-weighted replica selection with
+  drain / online-remap / restore transitions;
+* :mod:`repro.serve.server` — :class:`InferenceServer` tying the three
+  together, with graceful drain on shutdown and a chaos hook
+  (``REPRO_SERVE_CHAOS``) that injects faults mid-traffic;
+* :mod:`repro.serve.loadgen` — open-loop (Poisson arrivals) and
+  closed-loop (fixed concurrency) load generation with exact latency
+  percentiles.
+
+Bit-determinism contract: every serving forward runs at a fixed
+``max_batch``-slot shape (short batches are zero-padded), because BLAS
+kernels are not bit-stable across GEMM shapes.  Logits are therefore
+bit-identical whether N requests are served one-by-one, in one batch, or
+in ragged micro-batches — asserted by ``tests/test_serve.py`` — and the
+im2col scratch and effective-weight cache stay perfectly shape-stable.
+"""
+
+from repro.serve.batcher import MicroBatcher, Request
+from repro.serve.loadgen import LoadResult, run_loadgen
+from repro.serve.replica import LocalReplica, ProcessReplica, ReplicaCore, ReplicaDied
+from repro.serve.router import HealthRouter
+from repro.serve.server import InferenceServer, ServeConfig
+
+__all__ = [
+    "HealthRouter",
+    "InferenceServer",
+    "LoadResult",
+    "LocalReplica",
+    "MicroBatcher",
+    "ProcessReplica",
+    "ReplicaCore",
+    "ReplicaDied",
+    "Request",
+    "ServeConfig",
+    "run_loadgen",
+]

@@ -1,0 +1,168 @@
+"""The dynamic micro-batcher: coalesce queued requests into one forward.
+
+Requests enter a FIFO; the dispatcher asks :meth:`MicroBatcher.next_batch`
+for work, which blocks until at least one request is queued, then keeps
+collecting until either ``max_batch`` requests are in hand or
+``max_wait_us`` has elapsed since the *first* request of the batch was
+dequeued.  The wait bound is the knob trading tail latency (small) for
+slot occupancy (large): a lone request ships after at most
+``max_wait_us``; a standing queue ships full batches back to back with
+no added wait.
+
+Each request resolves through a tiny future so open-loop load (fire and
+forget) and closed-loop load (submit, block, repeat) share one surface.
+Failed batches are *re-queued at the front* by the server — a request is
+only ever lost if the server shuts down non-gracefully.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any
+
+import numpy as np
+
+__all__ = ["MicroBatcher", "Request", "RequestFuture"]
+
+
+class RequestFuture:
+    """Single-assignment result slot with a blocking ``result()``.
+
+    ``t_done`` is stamped at fulfilment so load generators can compute
+    exact per-request latencies after the fact (the serving histogram is
+    log-bucketed; percentile gates want the raw samples).
+    """
+
+    __slots__ = ("_event", "_value", "_error", "t_done")
+
+    def __init__(self):
+        self._event = threading.Event()
+        self._value = None
+        self._error: BaseException | None = None
+        self.t_done: float | None = None
+
+    def set_result(self, value: Any) -> None:
+        self._value = value
+        self.t_done = time.perf_counter()
+        self._event.set()
+
+    def set_error(self, error: BaseException) -> None:
+        self._error = error
+        self.t_done = time.perf_counter()
+        self._event.set()
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> Any:
+        if not self._event.wait(timeout):
+            raise TimeoutError("request did not complete in time")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+
+class Request:
+    """One queued inference request: a single input sample plus its future."""
+
+    __slots__ = ("x", "future", "t_submit", "attempts")
+
+    def __init__(self, x: np.ndarray):
+        self.x = x
+        self.future = RequestFuture()
+        self.t_submit = time.perf_counter()
+        self.attempts = 0
+
+
+class MicroBatcher:
+    """Bounded-wait request coalescing over a FIFO queue."""
+
+    def __init__(self, max_batch: int = 32, max_wait_us: float = 2000.0):
+        if max_batch <= 0:
+            raise ValueError("max_batch must be positive")
+        if max_wait_us < 0:
+            raise ValueError("max_wait_us must be non-negative")
+        self.max_batch = max_batch
+        self.max_wait_s = max_wait_us / 1e6
+        self._queue: list[Request] = []
+        self._lock = threading.Lock()
+        self._nonempty = threading.Condition(self._lock)
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    def submit(self, request: Request) -> None:
+        """Append one request (raises once the batcher is closed)."""
+        with self._nonempty:
+            if self._closed:
+                raise RuntimeError("batcher is closed")
+            self._queue.append(request)
+            self._nonempty.notify()
+
+    def requeue(self, requests: list[Request]) -> None:
+        """Put failed requests back at the *front* (retry precedence).
+
+        Allowed even on a closed batcher: a graceful drain must still
+        retry the in-flight batch of a replica that died mid-shutdown.
+        """
+        with self._nonempty:
+            self._queue[:0] = requests
+            self._nonempty.notify_all()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    # ------------------------------------------------------------------ #
+    def next_batch(self, timeout: float | None = None) -> list[Request] | None:
+        """Collect the next micro-batch (None on idle timeout / drained).
+
+        Blocks until a request arrives (bounded by ``timeout``), then
+        coalesces follow-ups for up to ``max_wait_us`` or until
+        ``max_batch`` requests are in hand.  After :meth:`close`, drains
+        whatever remains without waiting and finally returns None.
+        """
+        deadline = None if timeout is None else time.perf_counter() + timeout
+        with self._nonempty:
+            while not self._queue:
+                if self._closed:
+                    return None
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0:
+                        return None
+                self._nonempty.wait(remaining)
+            batch = self._queue[: self.max_batch]
+            del self._queue[: len(batch)]
+            if len(batch) >= self.max_batch or self._closed:
+                return batch
+            # Bounded coalescing wait: keep absorbing arrivals until the
+            # batch fills or the wait budget (measured from now, i.e. from
+            # the first dequeue) is spent.
+            wait_deadline = time.perf_counter() + self.max_wait_s
+            while len(batch) < self.max_batch:
+                remaining = wait_deadline - time.perf_counter()
+                if remaining <= 0:
+                    break
+                if not self._queue:
+                    self._nonempty.wait(remaining)
+                take = self.max_batch - len(batch)
+                batch.extend(self._queue[:take])
+                del self._queue[: min(take, len(self._queue))]
+                if self._closed:
+                    break
+            return batch
+
+    def close(self) -> None:
+        """Stop accepting new requests; wake every waiting dispatcher."""
+        with self._nonempty:
+            self._closed = True
+            self._nonempty.notify_all()
+
+    def drain_pending(self) -> list[Request]:
+        """Remove and return everything still queued (shutdown abort path)."""
+        with self._nonempty:
+            pending = self._queue[:]
+            self._queue.clear()
+            return pending

@@ -1,0 +1,186 @@
+"""Load generation against an :class:`~repro.serve.server.InferenceServer`.
+
+Two canonical modes:
+
+* **open loop** — requests arrive on a Poisson process at a fixed offered
+  rate, regardless of how fast the server drains them.  This is the
+  honest tail-latency measurement: a slow server builds a queue and its
+  p99 shows it (closed-loop load would politely back off instead —
+  the classic *coordinated omission* trap).
+* **closed loop** — a fixed number of concurrent clients submit, block
+  for the result, and immediately submit again.  This measures saturated
+  throughput at a given concurrency.
+
+Latencies are computed from the raw per-request timestamps stamped on
+each future (exact percentiles), not from the server's log-bucketed
+histogram; both are reported so the trace and the benchmark agree.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = ["LoadResult", "run_loadgen"]
+
+
+@dataclass
+class LoadResult:
+    """Outcome of one load-generation run."""
+
+    mode: str
+    duration_s: float
+    requests: int
+    completed: int
+    failed: int
+    throughput_rps: float
+    latency_ms: dict[str, float] = field(default_factory=dict)
+    offered_rate: float | None = None
+    concurrency: int | None = None
+    batch_size: dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        d = {
+            "mode": self.mode,
+            "duration_s": round(self.duration_s, 4),
+            "requests": self.requests,
+            "completed": self.completed,
+            "failed": self.failed,
+            "throughput_rps": round(self.throughput_rps, 2),
+            "latency_ms": {k: round(v, 4) for k, v in self.latency_ms.items()},
+            "batch_size": self.batch_size,
+        }
+        if self.offered_rate is not None:
+            d["offered_rate"] = self.offered_rate
+        if self.concurrency is not None:
+            d["concurrency"] = self.concurrency
+        return d
+
+
+def _latency_stats(latencies_s: list[float]) -> dict[str, float]:
+    if not latencies_s:
+        return {}
+    arr = np.array(latencies_s) * 1e3
+    return {
+        "p50": float(np.percentile(arr, 50)),
+        "p90": float(np.percentile(arr, 90)),
+        "p99": float(np.percentile(arr, 99)),
+        "mean": float(arr.mean()),
+        "max": float(arr.max()),
+    }
+
+
+def _sample_pool(server, seed: int, pool: int = 64) -> np.ndarray:
+    """A fixed pool of synthetic inputs matching the model's tensor spec."""
+    rng = np.random.default_rng(seed)
+    xs = rng.standard_normal((pool,) + tuple(server.input_shape))
+    return xs.astype(server.input_dtype)
+
+
+def run_loadgen(
+    server,
+    mode: str = "open",
+    rate: float = 200.0,
+    concurrency: int = 8,
+    duration_s: float = 5.0,
+    seed: int = 0,
+    timeout: float = 120.0,
+) -> LoadResult:
+    """Drive the server and return exact latency percentiles.
+
+    ``rate`` (req/s) applies to open-loop mode; ``concurrency`` (blocked
+    clients) to closed-loop.  Failed requests (replica exhaustion) are
+    counted, never silently dropped from the stats.
+    """
+    if mode not in ("open", "closed"):
+        raise ValueError(f"mode must be 'open' or 'closed', got {mode!r}")
+    xs = _sample_pool(server, seed)
+    batch_before = dict(server.stats()["histograms"].get("serve.batch_size", {}))
+
+    records: list[tuple[float, Any]] = []  # (t_submit, future)
+    records_lock = threading.Lock()
+    t_start = time.perf_counter()
+    t_end = t_start + duration_s
+
+    if mode == "open":
+        rng = np.random.default_rng(seed + 1)
+        i = 0
+        t_next = time.perf_counter()
+        while True:
+            now = time.perf_counter()
+            if now >= t_end:
+                break
+            if now < t_next:
+                time.sleep(min(t_next - now, t_end - now))
+                continue
+            t_submit = time.perf_counter()
+            future = server.submit(xs[i % len(xs)])
+            records.append((t_submit, future))
+            i += 1
+            t_next += rng.exponential(1.0 / rate)
+    else:
+        def client(worker: int) -> None:
+            k = worker
+            while time.perf_counter() < t_end:
+                t_submit = time.perf_counter()
+                try:
+                    future = server.submit(xs[k % len(xs)])
+                except RuntimeError:
+                    return  # server began draining (graceful shutdown)
+                with records_lock:
+                    records.append((t_submit, future))
+                try:
+                    future.result(timeout=timeout)
+                except Exception:
+                    pass  # tallied below from the future's error state
+                k += concurrency
+
+        threads = [
+            threading.Thread(target=client, args=(w,), daemon=True,
+                             name=f"loadgen-{w}")
+            for w in range(concurrency)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=duration_s + timeout)
+
+    # Wait out the tail, then compute exact latencies from the stamps.
+    latencies: list[float] = []
+    failed = 0
+    last_done = t_start
+    for t_submit, future in records:
+        try:
+            future.result(timeout=timeout)
+        except Exception:
+            failed += 1
+            continue
+        latencies.append(future.t_done - t_submit)
+        if future.t_done > last_done:
+            last_done = future.t_done
+
+    elapsed = max(last_done - t_start, 1e-9)
+    batch_after = server.stats()["histograms"].get("serve.batch_size", {})
+    batch_stats = {
+        k: batch_after[k]
+        for k in ("count", "mean", "p50", "p90", "max")
+        if k in batch_after
+    }
+    if batch_before.get("count"):
+        batch_stats["note"] = "includes pre-run traffic"
+    return LoadResult(
+        mode=mode,
+        duration_s=elapsed,
+        requests=len(records),
+        completed=len(latencies),
+        failed=failed,
+        throughput_rps=len(latencies) / elapsed,
+        latency_ms=_latency_stats(latencies),
+        offered_rate=rate if mode == "open" else None,
+        concurrency=concurrency if mode == "closed" else None,
+        batch_size=batch_stats,
+    )

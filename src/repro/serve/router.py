@@ -1,0 +1,193 @@
+"""Degradation-aware request routing across serving replicas.
+
+The router owns one number per replica — its routing ``weight`` — and the
+state machine that moves a replica through::
+
+    healthy --(new faults past threshold)--> draining --> remapping
+        ^                                                     |
+        +---------------(restore, reweighted)-----------------+
+
+Weights derive from the same per-tile health samples the training
+dashboard uses (:func:`repro.telemetry.health.chip_health`): the fraction
+of *active* faulty cells — faults under live tasks, the residual damage a
+remap has not quarantined — scaled and clamped into ``[min_weight, 1]``.
+A replica that just took a fault wave routes observably less traffic; a
+replica whose remap quarantined the damage wins its weight back.
+
+Every weight change is a ``route_weight`` event, so the trace carries a
+timeline of how traffic shifted around each degradation episode.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+import numpy as np
+
+from repro.telemetry import Telemetry, null_telemetry
+
+__all__ = ["HealthRouter"]
+
+#: replica lifecycle states the router tracks.
+HEALTHY = "healthy"
+DRAINING = "draining"
+REMAPPING = "remapping"
+DEAD = "dead"
+
+
+class HealthRouter:
+    """Weighted replica selection driven by chip-health samples.
+
+    ``weight_scale`` converts active-fault density into lost weight
+    (density is tiny in absolute terms — a few faulty cells per thousand
+    — so the scale is large); ``remap_threshold`` is the active-fault
+    density above which a fault wave triggers an online drain + remap.
+    The default of 0 means *any* new active fault does.
+    """
+
+    def __init__(
+        self,
+        telemetry: Telemetry | None = None,
+        weight_scale: float = 50.0,
+        min_weight: float = 0.05,
+        remap_threshold: float = 0.0,
+    ):
+        self.telemetry = telemetry if telemetry is not None else null_telemetry()
+        self.weight_scale = weight_scale
+        self.min_weight = min_weight
+        self.remap_threshold = remap_threshold
+        self._lock = threading.Lock()
+        self._weights: dict[int, float] = {}
+        self._status: dict[int, str] = {}
+        self._fault_versions: dict[int, int] = {}
+
+    # ------------------------------------------------------------------ #
+    def weight_from_health(self, health: dict[str, Any]) -> float:
+        """Map a health sample to a routing weight in [min_weight, 1]."""
+        cells = health.get("cells", 0)
+        active = health.get("active_faulty", 0)
+        density = active / cells if cells else 0.0
+        return max(self.min_weight, 1.0 - self.weight_scale * density)
+
+    def _set_weight(self, replica_id: int, weight: float, reason: str) -> None:
+        self._weights[replica_id] = weight
+        self.telemetry.event(
+            "route_weight", replica=replica_id, weight=round(weight, 6),
+            reason=reason, status=self._status.get(replica_id, HEALTHY),
+        )
+
+    # ------------------------------------------------------------------ #
+    def register(self, replica_id: int, health: dict[str, Any]) -> None:
+        """Add a replica to the rotation with a health-derived weight."""
+        with self._lock:
+            self._status[replica_id] = HEALTHY
+            self._fault_versions[replica_id] = int(health.get("fault_version", 0))
+            self._set_weight(replica_id, self.weight_from_health(health),
+                             reason="register")
+
+    def observe_fault_version(self, replica_id: int, fault_version: int) -> bool:
+        """Record the fault version piggybacked on an infer reply.
+
+        Returns True exactly once per new fault wave — the caller should
+        then pull a health sample and call :meth:`maybe_degrade`.
+        """
+        with self._lock:
+            known = self._fault_versions.get(replica_id, 0)
+            if fault_version <= known:
+                return False
+            if self._status.get(replica_id) != HEALTHY:
+                # already mid-episode; fold the new version in silently
+                self._fault_versions[replica_id] = fault_version
+                return False
+            self._fault_versions[replica_id] = fault_version
+            return True
+
+    def maybe_degrade(self, replica_id: int, health: dict[str, Any]) -> bool:
+        """React to a fresh post-fault health sample.
+
+        Always reweights the replica; additionally moves it to
+        ``draining`` (returns True) when its active-fault density crossed
+        ``remap_threshold`` — the caller then drains in-flight work and
+        runs the online remap.
+        """
+        cells = health.get("cells", 0)
+        density = health.get("active_faulty", 0) / cells if cells else 0.0
+        with self._lock:
+            if self._status.get(replica_id) != HEALTHY:
+                return False
+            needs_remap = density > self.remap_threshold
+            if needs_remap:
+                self._status[replica_id] = DRAINING
+            self._set_weight(replica_id, self.weight_from_health(health),
+                             reason="degraded")
+            self.telemetry.event(
+                "replica_degraded", replica=replica_id,
+                active_faulty=health.get("active_faulty", 0),
+                mean_density=health.get("mean_density", 0.0),
+                remap=needs_remap,
+            )
+            return needs_remap
+
+    def begin_remap(self, replica_id: int) -> None:
+        with self._lock:
+            self._status[replica_id] = REMAPPING
+
+    def restore(self, replica_id: int, health: dict[str, Any]) -> None:
+        """Return a replica to rotation with a post-remap weight."""
+        with self._lock:
+            self._status[replica_id] = HEALTHY
+            self._fault_versions[replica_id] = int(
+                health.get("fault_version", self._fault_versions.get(replica_id, 0))
+            )
+            self._set_weight(replica_id, self.weight_from_health(health),
+                             reason="restored")
+            self.telemetry.event(
+                "replica_restored", replica=replica_id,
+                active_faulty=health.get("active_faulty", 0),
+                quarantined=health.get("quarantined", 0),
+            )
+
+    def mark_dead(self, replica_id: int) -> None:
+        with self._lock:
+            if self._status.get(replica_id) == DEAD:
+                return
+            self._status[replica_id] = DEAD
+            self._set_weight(replica_id, 0.0, reason="dead")
+            self.telemetry.event("replica_dead", replica=replica_id)
+
+    # ------------------------------------------------------------------ #
+    def status(self, replica_id: int) -> str:
+        with self._lock:
+            return self._status.get(replica_id, HEALTHY)
+
+    def routable(self, replica_id: int) -> bool:
+        """May new batches be assigned to this replica right now?"""
+        with self._lock:
+            return self._status.get(replica_id) == HEALTHY
+
+    def weights(self) -> dict[int, float]:
+        with self._lock:
+            return dict(self._weights)
+
+    def alive_count(self) -> int:
+        with self._lock:
+            return sum(1 for s in self._status.values() if s != DEAD)
+
+    def choose(self, candidates: list[int],
+               rng: np.random.Generator) -> int | None:
+        """Weighted-random pick among routable candidates (None if none)."""
+        with self._lock:
+            pool = [
+                (rid, self._weights.get(rid, 0.0))
+                for rid in candidates
+                if self._status.get(rid) == HEALTHY
+            ]
+        pool = [(rid, w) for rid, w in pool if w > 0.0]
+        if not pool:
+            return None
+        if len(pool) == 1:
+            return pool[0][0]
+        weights = np.array([w for _, w in pool], dtype=np.float64)
+        idx = int(rng.choice(len(pool), p=weights / weights.sum()))
+        return pool[idx][0]

@@ -102,6 +102,61 @@ def _remap_timeline(events: list[dict[str, Any]]) -> list[dict[str, Any]]:
     return rows
 
 
+def _cache_stats(counters: dict[str, Any]) -> dict[str, Any] | None:
+    """Effective-weight cache efficiency from the engine's counters."""
+    hits = int(counters.get("engine.cache_hits", 0))
+    misses = int(counters.get("engine.cache_misses", 0))
+    if hits + misses == 0:
+        return None
+    return {
+        "hits": hits,
+        "misses": misses,
+        "recomputes": int(counters.get("engine.cache_recomputes", 0)),
+        "hit_rate": hits / (hits + misses),
+    }
+
+
+def _serving_section(
+    events: list[dict[str, Any]], summary: dict[str, Any]
+) -> dict[str, Any] | None:
+    """Serving-plane view: load stats, routing timeline, online remaps."""
+    counters = summary.get("counters", {})
+    hists = summary.get("histograms", {})
+    weights = []
+    online_remaps = []
+    for e in events:
+        kind = e.get("kind")
+        p = e.get("payload", {})
+        if kind == "route_weight":
+            weights.append({
+                "ts": e.get("ts"),
+                "replica": p.get("replica"),
+                "weight": p.get("weight"),
+                "reason": p.get("reason"),
+            })
+        elif kind == "online_remap":
+            online_remaps.append({
+                "ts": e.get("ts"),
+                "replica": p.get("replica"),
+                "num_remaps": int(p.get("num_remaps", 0)),
+            })
+    served = any(str(k).startswith("serve.") for k in counters)
+    if not (served or weights or online_remaps):
+        return None
+    return {
+        "requests": int(counters.get("serve.requests", 0)),
+        "completed": int(counters.get("serve.completed", 0)),
+        "failed": int(counters.get("serve.failed", 0)),
+        "retries": int(counters.get("serve.retries", 0)),
+        "replica_deaths": int(counters.get("serve.replica_deaths", 0)),
+        "online_remaps": int(counters.get("serve.remaps_online", 0)),
+        "latency": hists.get("serve.latency_seconds"),
+        "batch_size": hists.get("serve.batch_size"),
+        "route_weights": weights,
+        "online_remap_events": online_remaps,
+    }
+
+
 def build_report(
     events: list[dict[str, Any]], summary: dict[str, Any] | None = None
 ) -> dict[str, Any]:
@@ -121,6 +176,8 @@ def build_report(
         "counters": summary.get("counters", {}),
         "health_timeline": _health_timeline(events),
         "remap_timeline": _remap_timeline(events),
+        "serving": _serving_section(events, summary),
+        "cache": _cache_stats(summary.get("counters", {})),
     }
 
 
@@ -219,6 +276,65 @@ def render_report(report: dict[str, Any]) -> str:
             f"{render_sparkline(counts)}  total "
             f"{int(sum(counts))} over {len(counts)} passes"
         )
+
+    serving = report.get("serving")
+    if serving:
+        rows = [
+            ["requests", serving["requests"], ""],
+            ["completed / failed",
+             f"{serving['completed']} / {serving['failed']}", ""],
+            ["retries (replica deaths)",
+             f"{serving['retries']} ({serving['replica_deaths']})", ""],
+            ["online remaps", serving["online_remaps"],
+             " ".join(f"replica{r['replica']}:+{r['num_remaps']}"
+                      for r in serving["online_remap_events"])],
+        ]
+        lat = serving.get("latency")
+        if lat:
+            rows.append([
+                "latency p50/p90/p99", "",
+                f"{_fmt_s(lat['p50'])} / {_fmt_s(lat['p90'])} / "
+                f"{_fmt_s(lat['p99'])} (max {_fmt_s(lat['max'])})",
+            ])
+        batch = serving.get("batch_size")
+        if batch:
+            rows.append([
+                "micro-batch size", f"mean {batch['mean']:.2f}",
+                f"p50={batch['p50']:.3g} p90={batch['p90']:.3g} "
+                f"max={batch['max']:.0f} ({batch['count']} batches)",
+            ])
+        cache = report.get("cache")
+        if cache:
+            rows.append([
+                "engine cache hit-rate", f"{100 * cache['hit_rate']:.1f}%",
+                f"{cache['hits']} hits / {cache['misses']} misses",
+            ])
+        sections.append(render_table(
+            ["serving", "value", "detail"], rows, title="serving plane",
+        ))
+        weights = serving.get("route_weights") or []
+        if weights:
+            per_replica: dict[Any, list[float]] = {}
+            for w in weights:
+                per_replica.setdefault(w["replica"], []).append(
+                    float(w["weight"])
+                )
+            lines = ["routing weight timeline (register -> ... -> final)"]
+            for rid in sorted(per_replica, key=str):
+                ws = per_replica[rid]
+                lines.append(
+                    f"  replica {rid}  {render_sparkline(ws)}  "
+                    f"{ws[0]:.3f} -> {ws[-1]:.3f}"
+                )
+            sections.append("\n".join(lines))
+    else:
+        cache = report.get("cache")
+        if cache:
+            sections.append(
+                f"effective-weight cache: {100 * cache['hit_rate']:.1f}% "
+                f"hit-rate ({cache['hits']} hits / {cache['misses']} misses, "
+                f"{cache['recomputes']} recomputes)"
+            )
 
     counters = report.get("counters") or {}
     if counters:

@@ -208,6 +208,11 @@ class TrainConfig:
     #: (no_grad) evaluation.  Results are bit-identical either way —
     #: the switch exists for the equivalence tests and benchmarks.
     eval_fastpath: bool = True
+    #: evaluation / inference batch size.  0 (the default) resolves to
+    #: ``max(batch_size, 64)`` — the historical ``Trainer.evaluate``
+    #: behaviour; a positive value pins it (the serving stack sets it to
+    #: the micro-batcher's slot count so eval and serving share shapes).
+    eval_batch: int = 0
     #: route training through the fused hot loop: one effective-weight
     #: probe per (step, layer), arena-pooled temporaries and in-place
     #: ``out=`` GEMM/ufunc calls.  Results are bit-identical to the
@@ -237,6 +242,8 @@ class TrainConfig:
             raise ValueError("dataset sizes must be positive")
         if self.dtype not in ("float32", "float64"):
             raise ValueError("dtype must be 'float32' or 'float64'")
+        if self.eval_batch < 0:
+            raise ValueError("eval_batch must be >= 0 (0 = auto)")
         if self.data_parallel < 0:
             raise ValueError("data_parallel must be >= 0 (0 = single process)")
         if self.grad_shards <= 0:

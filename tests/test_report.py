@@ -162,6 +162,78 @@ class TestChipHealth:
         assert tel.histograms["health.tile_density"].count == 1
 
 
+class TestServingReport:
+    @pytest.fixture()
+    def serve_tel(self) -> Telemetry:
+        """A synthetic serving trace: load, one fault episode, cache stats."""
+        tel = Telemetry(echo=False)
+        tel.event("server_started", replicas=2, max_batch=8)
+        tel.count("serve.requests", 40)
+        tel.count("serve.completed", 40)
+        tel.count("serve.batches", 9)
+        tel.count("serve.retries", 2)
+        tel.count("serve.replica_deaths", 1)
+        tel.count("serve.remaps_online", 1)
+        tel.count("engine.cache_hits", 90)
+        tel.count("engine.cache_misses", 10)
+        for latency in (0.004, 0.006, 0.011):
+            tel.observe("serve.latency_seconds", latency)
+        for size in (8.0, 8.0, 4.0):
+            tel.observe("serve.batch_size", size)
+        for weight, reason in ((0.95, "register"), (0.7, "degraded"),
+                               (0.93, "restored")):
+            tel.event("route_weight", replica=0, weight=weight,
+                      reason=reason, status="healthy")
+        tel.event("online_remap", replica=0, pass_index=0, num_remaps=3,
+                  fault_version=1)
+        return tel
+
+    def test_serving_section_from_trace(self, serve_tel):
+        from repro.telemetry.report import report_from_telemetry
+
+        report = report_from_telemetry(serve_tel)
+        serving = report["serving"]
+        assert serving["requests"] == 40
+        assert serving["completed"] == 40
+        assert serving["failed"] == 0
+        assert serving["retries"] == 2
+        assert serving["replica_deaths"] == 1
+        assert serving["online_remaps"] == 1
+        assert serving["latency"]["count"] == 3
+        assert serving["batch_size"]["max"] == 8.0
+        assert [w["reason"] for w in serving["route_weights"]] == [
+            "register", "degraded", "restored"
+        ]
+        (remap,) = serving["online_remap_events"]
+        assert remap["replica"] == 0 and remap["num_remaps"] == 3
+        assert report["cache"]["hit_rate"] == pytest.approx(0.9)
+
+    def test_serving_sections_render(self, serve_tel):
+        from repro.telemetry.report import report_from_telemetry
+
+        out = render_report(report_from_telemetry(serve_tel))
+        assert "serving plane" in out
+        assert "online remaps" in out
+        assert "replica0:+3" in out
+        assert "latency p50/p90/p99" in out
+        assert "micro-batch size" in out
+        assert "engine cache hit-rate" in out and "90.0%" in out
+        assert "routing weight timeline" in out
+        assert "0.950 -> 0.930" in out
+
+    def test_training_trace_has_no_serving_section(self, traced_run):
+        _, trace = traced_run
+        events, summary = load_trace(str(trace))
+        report = build_report(events, summary)
+        assert report["serving"] is None
+        out = render_report(report)
+        assert "serving plane" not in out
+        # the effective-weight cache line still shows when the engine
+        # counters are in the trace
+        if report["cache"]:
+            assert "effective-weight cache" in out
+
+
 class TestRemapEventsInTrace:
     def test_moves_and_swaps_are_tagged(self, traced_run):
         _, trace = traced_run
