@@ -69,6 +69,15 @@ def _training_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--post-n", type=float, default=0.01,
                         help="fraction of crossbars hit per epoch")
     parser.add_argument("--remap-threshold", type=float, default=0.001)
+    parser.add_argument("--wave-epoch", type=int, default=None,
+                        help="inject a spare-exhausting chaos fault wave "
+                             "after this epoch (default: no wave)")
+    parser.add_argument("--wave-chip", type=int, default=0,
+                        help="fleet chip the wave saturates (clamped to "
+                             "the last chip)")
+    parser.add_argument("--wave-density", type=float, default=0.05,
+                        help="extra stuck-cell fraction per crossbar the "
+                             "wave injects")
     parser.add_argument("--train-workers", type=int, default=0,
                         help="data-parallel training ranks (0 = single "
                              "process; capped at --grad-shards; the "
@@ -94,12 +103,19 @@ def _output_args(parser: argparse.ArgumentParser) -> None:
 def _experiment_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--model", choices=MODEL_NAMES, default="resnet12")
     _training_args(parser)
+    parser.add_argument("--chips", type=int, default=1,
+                        help="shard the model across N simulated chips "
+                             "(pipeline placement + cross-chip eviction; "
+                             "1 = the classic single-chip path)")
     parser.add_argument("--seed", type=int, default=1)
     _output_args(parser)
 
 
 def _build_config(args: argparse.Namespace, model: str, policy: str,
-                  seed: int, policy_param: float = 0.0) -> ExperimentConfig:
+                  seed: int, policy_param: float = 0.0,
+                  chips: int | None = None) -> ExperimentConfig:
+    if chips is None:
+        chips = getattr(args, "chips", 1)
     return ExperimentConfig(
         train=TrainConfig(
             model=model,
@@ -121,10 +137,14 @@ def _build_config(args: argparse.Namespace, model: str, policy: str,
             post_enabled=not args.no_post_faults,
             post_m=args.post_m,
             post_n=args.post_n,
+            wave_epoch=args.wave_epoch,
+            wave_chip=args.wave_chip,
+            wave_density=args.wave_density,
         ),
         policy=policy,
         policy_param=policy_param,
         remap_threshold=args.remap_threshold,
+        chips=chips,
         seed=seed,
     )
 
@@ -228,12 +248,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     tel = _make_telemetry(args)
     cells = [
         ExperimentCell(
-            (model, policy, seed),
-            _build_config(args, model, policy, seed),
+            (model, policy, seed, chips),
+            _build_config(args, model, policy, seed, chips=chips),
         )
         for model in args.models
         for policy in args.policies
         for seed in args.seeds
+        for chips in args.chips
     ]
     total = len(cells)
     done = 0
@@ -267,15 +288,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     for model in args.models:
         for policy in args.policies:
             for seed in args.seeds:
-                res = by_key[(model, policy, seed)]
-                remaps = res.result.num_remaps if res.ok else "-"
-                status = "cached" if res.restored else (
-                    "ok" if res.ok else "FAILED"
-                )
-                rows.append([model, policy, seed, res.final_accuracy,
-                             remaps, status])
+                for chips in args.chips:
+                    res = by_key[(model, policy, seed, chips)]
+                    remaps = res.result.num_remaps if res.ok else "-"
+                    evictions = res.result.num_evictions if res.ok else "-"
+                    status = "cached" if res.restored else (
+                        "ok" if res.ok else "FAILED"
+                    )
+                    rows.append([model, policy, seed, chips,
+                                 res.final_accuracy, remaps, evictions,
+                                 status])
     print(render_table(
-        ["model", "policy", "seed", "final acc", "remaps", "status"],
+        ["model", "policy", "seed", "chips", "final acc", "remaps",
+         "evictions", "status"],
         rows,
         title=f"sweep ({total} cells, dataset {args.dataset})",
         ndigits=4,
@@ -541,6 +566,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--policies", nargs="+", choices=POLICY_NAMES,
                          default=["ideal", "none", "remap-d"])
     p_sweep.add_argument("--seeds", nargs="+", type=int, default=[1])
+    p_sweep.add_argument("--chips", nargs="+", type=int, default=[1],
+                         help="chip counts to grid over (fleet sweeps: "
+                              "chip count x fault rate x policy)")
     _training_args(p_sweep)
     p_sweep.add_argument("--workers", type=int, default=None,
                          help="worker processes (default: "

@@ -31,6 +31,7 @@ from repro.nn.fault_aware import CrossbarEngine
 from repro.nn.layers import Conv2d, Linear, Module
 from repro.nn.models import build_model
 from repro.nn.parallel import DataParallelTrainer, resolve_train_workers
+from repro.fleet import ChipFleet, plan_placement
 from repro.nn.tensor import set_default_dtype
 from repro.nn.trainer import Trainer, TrainResult
 from repro.reram.chip import Chip
@@ -46,6 +47,7 @@ __all__ = [
     "apply_epoch_end",
     "build_experiment",
     "run_experiment",
+    "inject_fault_wave",
     "inject_phase_faults",
     "size_chip_for_model",
 ]
@@ -59,7 +61,9 @@ class ExperimentContext:
     rng_hub: RngHub
     dataset: SyntheticDataset
     model: Module
-    chip: Chip
+    #: the hardware target: a single chip, or a ChipFleet presenting the
+    #: same surface when ``config.chips > 1``.
+    chip: "Chip | ChipFleet"
     engine: CrossbarEngine
     injector: FaultInjector
     policy: Policy
@@ -87,6 +91,8 @@ class ExperimentResult:
     mean_chip_density: float
     max_pair_density: float
     wall_seconds: float
+    #: cross-chip task migrations (0 on a single chip).
+    num_evictions: int = 0
     #: aggregated telemetry summary (``Telemetry.summary()``): counters,
     #: span totals and per-kind event counts for the whole run.
     telemetry: dict = field(default_factory=dict)
@@ -168,6 +174,49 @@ def inject_phase_faults(
     return total
 
 
+def inject_fault_wave(ctx: ExperimentContext, epoch: int) -> int:
+    """Inject the configured chaos fault wave into one chip.
+
+    Saturates every crossbar of ``faults.wave_chip`` with
+    ``faults.wave_density`` extra stuck cells — the spare-exhaustion
+    stress that forces cross-chip evictions in a fleet (and strands a
+    standalone chip, the comparison ``bench_fleet`` records).  Draws from
+    its own ``"fault-wave"`` stream, created only when a wave is
+    configured, so unconfigured runs consume no extra randomness.
+    """
+    fc = ctx.config.faults
+    rng = ctx.rng_hub.stream("fault-wave")
+    chips = getattr(ctx.chip, "chips", None)
+    if chips is not None:
+        target = chips[min(fc.wave_chip, len(chips) - 1)]
+    else:
+        target = ctx.chip
+    sa0_p = fc.sa0_probability(post=True)
+    total = 0
+    for xb in target.crossbars:
+        fmap = xb.fault_map
+        count = int(round(fc.wave_density * fmap.cells))
+        forbidden = np.flatnonzero(fmap.faulty_mask.ravel())
+        if fc.clustered:
+            cells = clustered_cells(
+                rng, fmap.rows, fmap.cols, count, forbidden=forbidden
+            )
+        else:
+            cells = uniform_cells(
+                rng, fmap.rows, fmap.cols, count, forbidden=forbidden
+            )
+        is_sa0 = rng.random(cells.size) < sa0_p
+        total += fmap.inject(cells[is_sa0], FaultType.SA0)
+        total += fmap.inject(cells[~is_sa0], FaultType.SA1)
+    ctx.chip.bump_fault_version()
+    ctx.telemetry.event(
+        "fault_injected", phase="wave", source="wave", epoch=epoch,
+        chip=target.chip_id, cells=total,
+    )
+    ctx.telemetry.count("faults.wave_cells", total)
+    return total
+
+
 def build_experiment(
     config: ExperimentConfig,
     telemetry: Telemetry | None = None,
@@ -196,7 +245,24 @@ def build_experiment(
     model = build_model(
         tc.model, dataset.num_classes, tc.width_mult, hub.stream("init")
     )
-    chip = Chip(size_chip_for_model(model, config.chip))
+    if config.chips > 1:
+        # Fleet path: pipeline-partition the layers over N chips.  The
+        # placement draws no randomness, so the RNG stream consumption
+        # below is identical to the single-chip path.
+        placement = plan_placement(model, config.chips, config.chip)
+        chip = ChipFleet(config.chip, placement, slack=config.chip_slack)
+        tel.event(
+            "fleet_built",
+            chips=config.chips,
+            stage_layers=[list(s) for s in placement.stages],
+            stage_pairs=[
+                placement.stage_demand(c) for c in range(config.chips)
+            ],
+            chip_pairs=[c.num_pairs for c in chip.chips],
+        )
+    else:
+        # Single chip: the pre-fleet code path, bit-identical to it.
+        chip = Chip(size_chip_for_model(model, config.chip, slack=config.chip_slack))
     chip.telemetry = tel
     engine = CrossbarEngine(chip).bind(model)
     injector = FaultInjector(config.faults, hub.stream("faults"))
@@ -219,6 +285,15 @@ def build_experiment(
     if config.variation is not None:
         engine.set_variation(config.variation, hub.stream("variation"))
     engine.telemetry = tel
+    if isinstance(chip, ChipFleet):
+        # Per-epoch history records carry the fleet's cumulative eviction
+        # and interconnect counters — the report's migration timeline
+        # reads the deltas between epochs.
+        trainer.epoch_metrics = lambda: {
+            "evictions": chip.evictions,
+            "interchip_flits": chip.interconnect.total_flits,
+            "interchip_cycles": chip.interconnect.total_cycles,
+        }
     ctx = ExperimentContext(
         config=config,
         rng_hub=hub,
@@ -276,6 +351,12 @@ def apply_epoch_end(
         tel.event("fault_injected", phase="post", source="endurance",
                   epoch=epoch, crossbars=len(hit), cells=cells)
         tel.count("faults.post_cells", cells)
+    if (
+        faults_active
+        and ctx.config.faults.wave_epoch is not None
+        and epoch == ctx.config.faults.wave_epoch
+    ):
+        inject_fault_wave(ctx, epoch)
     if policy.uses_bist:
         t_scan = time.perf_counter()
         with tel.span("bist_scan", epoch=epoch):
@@ -333,6 +414,13 @@ def run_experiment(
     for name, value in ctx.engine.cache_stats().items():
         tel.count(f"engine.cache_{name}", value)
     num_remaps = sum(plan.num_remaps for _, plan in ctx.remap_plans)
+    fleet_extra = {}
+    if isinstance(chip, ChipFleet):
+        fleet_extra = {
+            "chips": chip.num_chips,
+            "evictions": chip.evictions,
+            "interchip_flits": chip.interconnect.total_flits,
+        }
     tel.event(
         "experiment_done",
         policy=policy.name,
@@ -341,6 +429,7 @@ def run_experiment(
         num_remaps=num_remaps,
         mean_chip_density=float(pair_densities.mean()),
         wall_seconds=round(time.perf_counter() - t0, 3),
+        **fleet_extra,
     )
     return ExperimentResult(
         policy=policy.name,
@@ -353,5 +442,6 @@ def run_experiment(
         mean_chip_density=float(pair_densities.mean()),
         max_pair_density=float(pair_densities.max()),
         wall_seconds=time.perf_counter() - t0,
+        num_evictions=getattr(chip, "evictions", 0),
         telemetry=tel.summary(),
     )

@@ -34,11 +34,43 @@ __all__ = [
     "bist_overhead_fraction",
     "remap_noc_overhead",
     "monte_carlo_remap_overhead",
+    "interchip_transfer_cycles",
     "OverheadReport",
 ]
 
 #: weights stored per crossbar pair x bits per weight: the remap payload.
 WEIGHT_BITS_PER_PAIR = 128 * 128 * 16
+
+#: inter-chip (chip-to-chip) link width in bits per flit.  Off-chip SerDes
+#: links are narrower than the on-chip NoC channels, which is what makes a
+#: cross-chip eviction visibly more expensive than an intra-chip remap.
+INTERCHIP_LINK_BITS = 32
+
+#: per-link traversal latency of the inter-chip interconnect, in NoC cycles.
+INTERCHIP_LINK_LATENCY = 8
+
+
+def interchip_transfer_cycles(
+    bits: int,
+    chip_hops: int,
+    link_bits: int = INTERCHIP_LINK_BITS,
+    link_latency: int = INTERCHIP_LINK_LATENCY,
+) -> tuple[int, int]:
+    """Cycle/flit cost of moving ``bits`` across ``chip_hops`` fleet links.
+
+    Wormhole accounting: the head flit pays ``link_latency`` per link and
+    the body streams behind it, so the transfer occupies the path for
+    ``chip_hops * link_latency + flits`` cycles.  Returns
+    ``(cycles, flits)``; a zero-hop "transfer" (same chip) is free.
+    """
+    if bits < 0 or chip_hops < 0:
+        raise ValueError("bits and chip_hops must be non-negative")
+    if link_bits <= 0 or link_latency < 0:
+        raise ValueError("link_bits must be positive, link_latency >= 0")
+    if chip_hops == 0:
+        return 0, 0
+    flits = -(-bits // link_bits)  # ceil
+    return chip_hops * link_latency + flits, flits
 
 
 def estimate_mvms_per_sample(model: Module, engine: CrossbarEngine) -> float:

@@ -23,7 +23,7 @@ import time
 import numpy as np
 
 from repro.core.remap_protocol import RemapProtocol
-from repro.core.tasks import enumerate_tasks
+from repro.core.tasks import enumerate_tasks, group_tasks_by_chip
 from repro.ecc.an_code import AN_CODE_AREA_OVERHEAD, column_correctable_mask
 from repro.nn.layers import Conv2d, Linear
 from repro.reram.mapping import LayerCopyMapping
@@ -152,15 +152,28 @@ class StaticMappingPolicy(Policy):
     def setup(self, ctx) -> None:
         mappings = ctx.engine.all_mappings()
         tasks = enumerate_tasks(mappings)
-        pair_ids = [t.pair_id for t in tasks]
         densities = ctx.chip.true_pair_densities()
-        order = sorted(pair_ids, key=lambda pid: (densities[pid], pid))
-        # Backward (critical) tasks take the cleanest pairs.
-        tasks_sorted = sorted(
-            enumerate(tasks), key=lambda it: (it[1].tolerance_rank, it[0])
-        )
-        for (_, task), pid in zip(tasks_sorted, order):
-            task.mapping.set_pair(task.block_row, task.block_col, pid)
+        # On a fleet the shuffle stays chip-local: static mapping models a
+        # per-chip manufacturing-time pass, and silently teleporting a
+        # task's weights to another chip would dodge the transfer cost the
+        # fleet charges for real migrations.
+        chips = getattr(ctx.chip, "chips", None)
+        if chips is None:
+            groups = [tasks]
+        else:
+            by_chip = group_tasks_by_chip(tasks, ctx.chip)
+            groups = [by_chip.get(c.chip_id, []) for c in chips]
+        for group in groups:
+            if not group:
+                continue
+            pair_ids = [t.pair_id for t in group]
+            order = sorted(pair_ids, key=lambda pid: (densities[pid], pid))
+            # Backward (critical) tasks take the cleanest pairs.
+            tasks_sorted = sorted(
+                enumerate(group), key=lambda it: (it[1].tolerance_rank, it[0])
+            )
+            for (_, task), pid in zip(tasks_sorted, order):
+                task.mapping.set_pair(task.block_row, task.block_col, pid)
         ctx.chip.bump_fault_version()
 
 
@@ -258,7 +271,16 @@ class RemapDPolicy(Policy):
         self.protocol: RemapProtocol | None = None
 
     def setup(self, ctx) -> None:
-        self.protocol = RemapProtocol(
+        # Deferred import: repro.fleet builds on the core protocol, so a
+        # module-level import here would be circular.
+        from repro.fleet import ChipFleet, FleetRemapProtocol
+
+        protocol_cls = (
+            FleetRemapProtocol
+            if isinstance(ctx.chip, ChipFleet)
+            else RemapProtocol
+        )
+        self.protocol = protocol_cls(
             ctx.chip,
             threshold=self.threshold,
             phase_priority=self.phase_priority,
@@ -284,18 +306,28 @@ class RemapDPolicy(Policy):
         with tel.span("remap_pass", epoch=epoch):
             tasks = enumerate_tasks(ctx.engine.all_mappings())
             plan = self.protocol.plan(
-                tasks, ctx.pair_density_est, idle_pairs=ctx.chip.idle_pair_ids()
+                tasks,
+                ctx.pair_density_est,
+                idle_pairs=ctx.chip.idle_pair_ids(),
+                epoch=epoch,
             )
             self.protocol.execute(plan)
         tel.observe("remap.pass_seconds", time.perf_counter() - t_pass)
         for decision in plan.decisions:
             tel.observe("remap.hops", decision.hops)
         ctx.remap_plans.append((epoch, plan))
+        evictions = getattr(plan, "evictions", None)
+        fleet_extra = (
+            {"evictions": len(evictions), "stranded": len(plan.stranded)}
+            if evictions is not None
+            else {}
+        )
         tel.event(
             "remap_planned",
             epoch=epoch,
             num_remaps=plan.num_remaps,
             senders=len(plan.sender_tiles),
+            **fleet_extra,
         )
         tel.count("remaps", plan.num_remaps)
         tel.count("remap_passes")

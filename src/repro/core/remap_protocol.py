@@ -68,6 +68,8 @@ class RemapDecision:
 class RemapPlan:
     """Everything one epoch's remap phase decided and would transmit."""
 
+    #: the epoch this plan was computed for (-1 = the deployment pass).
+    epoch: int = -1
     decisions: list[RemapDecision] = field(default_factory=list)
     #: tiles that broadcast a request (senders with >= 1 triggering task).
     sender_tiles: list[int] = field(default_factory=list)
@@ -113,6 +115,7 @@ class RemapProtocol:
         tasks: list[Task],
         pair_density: np.ndarray,
         idle_pairs: list[int] | None = None,
+        epoch: int = -1,
     ) -> RemapPlan:
         """Compute this epoch's sender/receiver matches.
 
@@ -120,7 +123,7 @@ class RemapProtocol:
         protocol never sees ground truth.  ``idle_pairs`` are on-chip
         pairs hosting no task; they participate as (preferred) receivers.
         """
-        plan = RemapPlan()
+        plan = RemapPlan(epoch=epoch)
         senders = [
             t for t in tasks
             if pair_density[t.pair_id] > self.threshold

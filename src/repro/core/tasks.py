@@ -16,7 +16,12 @@ from dataclasses import dataclass
 
 from repro.reram.mapping import BACKWARD, FORWARD, LayerCopyMapping
 
-__all__ = ["Task", "enumerate_tasks", "phase_tolerance_rank"]
+__all__ = [
+    "Task",
+    "enumerate_tasks",
+    "group_tasks_by_chip",
+    "phase_tolerance_rank",
+]
 
 
 def phase_tolerance_rank(phase: str) -> int:
@@ -74,3 +79,18 @@ def enumerate_tasks(mappings: list[LayerCopyMapping]) -> list[Task]:
             for bc in range(nbc):
                 tasks.append(Task(mapping, br, bc))
     return tasks
+
+
+def group_tasks_by_chip(tasks: list[Task], fleet) -> dict[int, list[Task]]:
+    """Bucket tasks by the chip *currently hosting* their pair.
+
+    An evicted task groups with its new home chip, not with the chip its
+    layer was originally placed on — remapping is physical, not logical.
+    Order within each bucket preserves the input order (determinism).
+    """
+    grouped: dict[int, list[Task]] = {}
+    for task in tasks:
+        grouped.setdefault(
+            fleet.chip_of_pair(task.pair_id).chip_id, []
+        ).append(task)
+    return grouped

@@ -1,0 +1,135 @@
+"""The inter-chip interconnect: chip-to-chip links of a fleet.
+
+Chips sit on a near-square 2-D mesh (one fleet router per chip) and talk
+over narrow off-chip links.  The accounting is deliberately *separate*
+from the intra-chip NoC: a chip-hop costs
+:data:`~repro.core.overheads.INTERCHIP_LINK_LATENCY` cycles of head
+latency per link and one flit per
+:data:`~repro.core.overheads.INTERCHIP_LINK_BITS` bits, and every
+transfer's flits are accumulated per *directed fleet link* — the
+fleet-level analogue of :mod:`repro.noc.stats`'s link loads, so a report
+can show whether evictions serialised on one link or spread out.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.overheads import (
+    INTERCHIP_LINK_BITS,
+    INTERCHIP_LINK_LATENCY,
+    interchip_transfer_cycles,
+)
+from repro.noc.topology import Mesh
+from repro.telemetry import null_telemetry
+
+__all__ = ["Interconnect", "fleet_mesh_shape"]
+
+
+def fleet_mesh_shape(num_chips: int) -> tuple[int, int]:
+    """Near-square ``(rows, cols)`` factorisation with ``rows*cols == n``."""
+    if num_chips < 1:
+        raise ValueError("num_chips must be >= 1")
+    rows = int(num_chips**0.5)
+    while num_chips % rows:
+        rows -= 1
+    return rows, num_chips // rows
+
+
+class Interconnect:
+    """Fleet-level network: per-link flit/cycle accounting between chips."""
+
+    def __init__(
+        self,
+        num_chips: int,
+        link_bits: int = INTERCHIP_LINK_BITS,
+        link_latency: int = INTERCHIP_LINK_LATENCY,
+    ):
+        rows, cols = fleet_mesh_shape(num_chips)
+        #: chip ``i`` attaches to fleet router ``i`` (row-major mesh).
+        self.mesh = Mesh(rows, cols)
+        self.num_chips = num_chips
+        self.link_bits = link_bits
+        self.link_latency = link_latency
+        #: directed fleet link -> accumulated flits.
+        self.link_flits: dict[tuple[int, int], int] = {}
+        self.transfers = 0
+        self.total_flits = 0
+        self.total_cycles = 0
+        self.telemetry = null_telemetry()
+
+    def chip_distance(self, chip_a: int, chip_b: int) -> int:
+        """Fleet-link hop count between two chips (0 = same chip)."""
+        return self.mesh.hop_distance(chip_a, chip_b)
+
+    def route(self, chip_a: int, chip_b: int) -> list[int]:
+        """XY route ``[chip_a, ..., chip_b]`` over the fleet mesh."""
+        return self.mesh.xy_route(chip_a, chip_b)
+
+    def transfer_cost(self, chip_a: int, chip_b: int, bits: int) -> tuple[int, int]:
+        """``(cycles, flits)`` for moving ``bits`` between two chips."""
+        return interchip_transfer_cycles(
+            bits, self.chip_distance(chip_a, chip_b),
+            self.link_bits, self.link_latency,
+        )
+
+    def record_transfer(
+        self, src_chip: int, dst_chip: int, bits: int,
+        kind: str = "eviction", **payload: Any,
+    ) -> tuple[int, int]:
+        """Charge one transfer: per-link flit loads, counters, one event.
+
+        Returns ``(cycles, flits)``.  A same-chip transfer is free and
+        records nothing.
+        """
+        cycles, flits = self.transfer_cost(src_chip, dst_chip, bits)
+        if cycles == 0:
+            return 0, 0
+        route = self.route(src_chip, dst_chip)
+        for a, b in zip(route, route[1:]):
+            self.link_flits[(a, b)] = self.link_flits.get((a, b), 0) + flits
+        self.transfers += 1
+        self.total_flits += flits
+        self.total_cycles += cycles
+        tel = self.telemetry
+        tel.event(
+            "interchip_transfer",
+            src_chip=src_chip,
+            dst_chip=dst_chip,
+            bits=bits,
+            flits=flits,
+            cycles=cycles,
+            chip_hops=len(route) - 1,
+            reason=kind,
+            **payload,
+        )
+        tel.count("fleet.interchip_transfers")
+        tel.count("fleet.interchip_flits", flits)
+        tel.count("fleet.interchip_cycles", cycles)
+        tel.observe("fleet.transfer_cycles", cycles)
+        return cycles, flits
+
+    def summary(self) -> dict[str, Any]:
+        """Aggregate accounting for reports and ``fleet.json``."""
+        busiest = max(
+            self.link_flits.items(), key=lambda kv: kv[1], default=None
+        )
+        return {
+            "chips": self.num_chips,
+            "mesh": [self.mesh.rows, self.mesh.cols],
+            "link_bits": self.link_bits,
+            "link_latency": self.link_latency,
+            "transfers": self.transfers,
+            "total_flits": self.total_flits,
+            "total_cycles": self.total_cycles,
+            "links_used": len(self.link_flits),
+            "busiest_link": list(busiest[0]) if busiest else None,
+            "busiest_link_flits": busiest[1] if busiest else 0,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Interconnect(chips={self.num_chips}, "
+            f"mesh={self.mesh.rows}x{self.mesh.cols}, "
+            f"transfers={self.transfers}, flits={self.total_flits})"
+        )

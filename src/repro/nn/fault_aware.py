@@ -55,6 +55,8 @@ class CrossbarEngine:
     """Routes layer MVMs through the chip's (possibly faulty) crossbars."""
 
     def __init__(self, chip: Chip):
+        #: the bound chip — a Chip, or a ChipFleet duck-typing its surface
+        #: (fault_maps / pair() / fault_version / allocate_layer_copy ...).
         self.chip = chip
         #: layer key -> (forward copy, backward copy) mappings.
         self.copies: dict[str, tuple[LayerCopyMapping, LayerCopyMapping]] = {}
@@ -75,6 +77,10 @@ class CrossbarEngine:
         self.override_version = 0
         #: layer key -> weight Parameter (for the params_version key part).
         self._weights: dict[str, "object"] = {}
+        #: layer key -> id of the chip hosting its copies (0 standalone).
+        #: Part of the cache key so fleet replicas that rebind a layer to
+        #: a different chip never share stale effective weights.
+        self._home_chip: dict[str, int] = {}
         #: (key, path) -> (version tuple, effective matrix).
         self._eff_cache: dict[tuple[str, str], tuple[tuple, np.ndarray]] = {}
         #: key -> (version tuple, fwd, bwd) — the fused layers' single
@@ -110,6 +116,10 @@ class CrossbarEngine:
                 )
                 self.copies[name] = (fwd, bwd)
                 self._weights[name] = module.weight
+                chip_of = getattr(self.chip, "chip_of_layer", None)
+                self._home_chip[name] = (
+                    int(chip_of(name)) if chip_of is not None else 0
+                )
                 module.engine = self
                 module.layer_key = name
         if not self.copies:
@@ -169,6 +179,7 @@ class CrossbarEngine:
             self.chip.fault_version,
             self.override_version,
             w2d.dtype.str,
+            self._home_chip.get(key, 0),
         )
         cached = self._step_cache.get(key)
         if cached is not None and cached[0] == ck and (
@@ -198,6 +209,7 @@ class CrossbarEngine:
             self.chip.fault_version,
             self.override_version,
             w2d.dtype.str,
+            self._home_chip.get(key, 0),
         )
         cached = self._eff_cache.get((key, path))
         if cached is not None and cached[0] == ck:

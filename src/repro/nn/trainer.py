@@ -57,6 +57,11 @@ class Trainer:
         #: called after every optimiser step (the crossbar engine hooks
         #: its in-situ range clipping here).
         self.post_step = None
+        #: optional ``() -> dict`` of extra per-epoch metrics, merged into
+        #: each history record and ``epoch_done`` event after the epoch's
+        #: controller hook ran (the fleet controller reports cumulative
+        #: eviction / interconnect counters here).  None adds nothing.
+        self.epoch_metrics: Callable[[], dict] | None = None
         self.optimizer = SGD(
             model.parameters(),
             lr=config.lr,
@@ -196,11 +201,13 @@ class Trainer:
                 on_epoch_end(epoch, self)
             with tel.span("evaluate", epoch=epoch):
                 acc = self.evaluate()
+            extra = self.epoch_metrics() if self.epoch_metrics is not None else {}
             result.history.append(
-                {"epoch": epoch, "loss": loss, "test_acc": acc, "lr": self.optimizer.lr}
+                {"epoch": epoch, "loss": loss, "test_acc": acc,
+                 "lr": self.optimizer.lr, **extra}
             )
             tel.event("epoch_done", epoch=epoch, loss=loss, test_acc=acc,
-                      lr=self.optimizer.lr)
+                      lr=self.optimizer.lr, **extra)
         if result.history:
             # Smooth over the last two epochs: small-model training on a
             # hard task is twitchy, and a single-epoch snapshot is noisy.

@@ -53,6 +53,8 @@ def build_xy_tree(
                 r += step
 
     if targets is not None:
+        for t in targets:
+            mesh._check(t)  # a silent out-of-mesh target would "succeed"
         children = _prune(children, src, targets)
     return children
 
@@ -60,23 +62,29 @@ def build_xy_tree(
 def _prune(
     children: dict[int, list[int]], src: int, targets: set[int]
 ) -> dict[int, list[int]]:
-    """Remove subtrees that contain no target router."""
+    """Remove subtrees that contain no target router.
 
-    def keep(node: int) -> bool:
-        kept_children = [c for c in children.get(node, []) if keep(c)]
-        children[node] = kept_children
-        return node in targets or bool(kept_children)
-
-    keep(src)
+    Iterative post-order: the tree is as deep as the mesh diameter, which
+    on a long single-row mesh exceeds the interpreter recursion limit.
+    """
+    kept: dict[int, bool] = {}
+    stack: list[tuple[int, bool]] = [(src, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if expanded:
+            kids = [c for c in children.get(node, []) if kept[c]]
+            children[node] = kids
+            kept[node] = node in targets or bool(kids)
+        else:
+            stack.append((node, True))
+            stack.extend((c, False) for c in children.get(node, []))
     # Drop orphaned entries.
     reachable: set[int] = set()
-
-    def visit(node: int) -> None:
+    walk = [src]
+    while walk:
+        node = walk.pop()
         reachable.add(node)
-        for c in children.get(node, []):
-            visit(c)
-
-    visit(src)
+        walk.extend(children.get(node, []))
     return {n: children[n] for n in reachable}
 
 

@@ -4,6 +4,12 @@ The chip owns the physical hardware tree (tiles -> IMAs -> crossbars), the
 differential pair registry, the wear tracker and a monotonically increasing
 ``fault_version`` used to invalidate cached fault overlays whenever faults
 are injected or tasks are remapped.
+
+A chip can be a member of a :class:`~repro.fleet.ChipFleet`: every pair,
+tile, crossbar and router id is offset by a per-chip base so ids are unique
+*fleet-wide* and any global id resolves to exactly one chip.  A standalone
+chip uses all-zero bases, which makes the global ids identical to the local
+ones — single-chip behaviour is unchanged.
 """
 
 from __future__ import annotations
@@ -19,14 +25,63 @@ from repro.reram.tile import Tile
 from repro.telemetry import null_telemetry
 from repro.utils.config import ChipConfig
 
-__all__ = ["Chip"]
+__all__ = ["Chip", "SpareExhaustedError"]
+
+
+class SpareExhaustedError(RuntimeError):
+    """A chip ran out of allocatable crossbar pairs.
+
+    Carries enough context to act on (which chip, which layer, how short
+    the request fell).  Subclasses :class:`RuntimeError` so pre-fleet
+    callers that caught the opaque failure keep working.  In a fleet this
+    exception is the *cross-chip eviction trigger*: a remap planner that
+    cannot place a task locally probes other chips' allocators and skips
+    any that raise it.
+    """
+
+    def __init__(
+        self,
+        chip_id: int,
+        requested: int,
+        remaining: int,
+        total: int,
+        layer: str | None = None,
+    ):
+        self.chip_id = chip_id
+        self.requested = requested
+        self.remaining = remaining
+        self.total = total
+        self.layer = layer
+        where = f"chip {chip_id}"
+        if layer is not None:
+            where += f" (layer {layer!r})"
+        super().__init__(
+            f"{where} out of crossbar pairs: requested {requested}, "
+            f"only {remaining} of {total} left "
+            "(increase ChipConfig sizes, reduce the model, or add chips)"
+        )
 
 
 class Chip:
     """A complete ReRAM crossbar-based computing system instance."""
 
-    def __init__(self, config: ChipConfig):
+    def __init__(
+        self,
+        config: ChipConfig,
+        chip_id: int = 0,
+        pair_base: int = 0,
+        tile_base: int = 0,
+        crossbar_base: int = 0,
+        router_base: int = 0,
+    ):
         self.config = config
+        #: fleet membership: position and global-id offsets.  A standalone
+        #: chip is chip 0 with zero bases (ids are then purely local).
+        self.chip_id = chip_id
+        self.pair_base = pair_base
+        self.tile_base = tile_base
+        self.crossbar_base = crossbar_base
+        self.router_base = router_base
         self.crossbars: list[Crossbar] = []
         self.tiles: list[Tile] = []
         self.pairs: list[CrossbarPair] = []
@@ -44,14 +99,14 @@ class Chip:
         self.mappings: list[LayerCopyMapping] = []
         # Spare pairs (reserved, never allocated to tasks).
         n_spare = int(round(config.spare_fraction * len(self.pairs)))
-        all_ids = np.arange(len(self.pairs))
+        all_ids = np.arange(len(self.pairs)) + self.pair_base
         self.spare_pair_ids: list[int] = list(map(int, all_ids[len(all_ids) - n_spare:]))
         self._allocatable = [int(i) for i in all_ids[: len(all_ids) - n_spare]]
         # Round-robin allocation order interleaving tiles so consecutive
         # blocks land on different tiles (spreads traffic and wear).
         by_tile: dict[int, list[int]] = {}
         for pid in self._allocatable:
-            by_tile.setdefault(self.pairs[pid].tile_id, []).append(pid)
+            by_tile.setdefault(self.pair(pid).tile_id, []).append(pid)
         order: list[int] = []
         queues = [list(v) for _, v in sorted(by_tile.items())]
         while any(queues):
@@ -66,11 +121,12 @@ class Chip:
     # ------------------------------------------------------------------ #
     def _build(self) -> None:
         cfg = self.config
-        xbar_id = 0
+        xbar_id = self.crossbar_base
         ima_id = 0
-        pair_id = 0
-        for tile_id in range(cfg.num_tiles):
-            router_id = tile_id // cfg.tiles_per_router
+        pair_id = self.pair_base
+        for local_tile in range(cfg.num_tiles):
+            tile_id = self.tile_base + local_tile
+            router_id = self.router_base + local_tile // cfg.tiles_per_router
             imas: list[IMA] = []
             for _ in range(cfg.imas_per_tile):
                 xbars = [
@@ -105,17 +161,27 @@ class Chip:
         return [xb.fault_map for xb in self.crossbars]
 
     def pair(self, pair_id: int) -> CrossbarPair:
-        return self.pairs[pair_id]
+        index = pair_id - self.pair_base
+        if not 0 <= index < len(self.pairs):
+            raise IndexError(
+                f"pair {pair_id} is not on chip {self.chip_id} "
+                f"(pairs {self.pair_base}..{self.pair_base + len(self.pairs) - 1})"
+            )
+        return self.pairs[index]
+
+    def owns_pair(self, pair_id: int) -> bool:
+        """True if ``pair_id`` (global id) belongs to this chip."""
+        return self.pair_base <= pair_id < self.pair_base + len(self.pairs)
 
     def tile_of_pair(self, pair_id: int) -> int:
-        return self.pairs[pair_id].tile_id
+        return self.pair(pair_id).tile_id
 
     def router_of_tile(self, tile_id: int) -> int:
-        return self.tiles[tile_id].router_id
+        return self.tiles[tile_id - self.tile_base].router_id
 
     def router_coords(self, router_id: int) -> tuple[int, int]:
-        """(row, col) of a router in the mesh grid."""
-        return divmod(router_id, self.config.mesh_cols)
+        """(row, col) of a router in this chip's mesh grid."""
+        return divmod(router_id - self.router_base, self.config.mesh_cols)
 
     def hop_count(self, tile_a: int, tile_b: int) -> int:
         """NoC hop count between two tiles (XY routing on the c-mesh).
@@ -141,10 +207,8 @@ class Chip:
             raise ValueError("count must be non-negative")
         remaining = len(self._alloc_order) - self._alloc_cursor
         if count > remaining:
-            raise RuntimeError(
-                f"chip out of crossbar pairs: requested {count}, "
-                f"only {remaining} of {len(self._alloc_order)} left "
-                "(increase ChipConfig sizes or reduce the model)"
+            raise SpareExhaustedError(
+                self.chip_id, count, remaining, len(self._alloc_order)
             )
         ids = self._alloc_order[self._alloc_cursor : self._alloc_cursor + count]
         self._alloc_cursor += count
@@ -157,7 +221,12 @@ class Chip:
         rows = self.config.crossbar.rows
         cols = self.config.crossbar.cols
         nbr, nbc = blocks_needed(matrix_shape[0], matrix_shape[1], rows, cols)
-        ids = np.asarray(self.allocate_pairs(nbr * nbc), dtype=np.int64)
+        try:
+            ids = np.asarray(self.allocate_pairs(nbr * nbc), dtype=np.int64)
+        except SpareExhaustedError as exc:
+            raise SpareExhaustedError(
+                exc.chip_id, exc.requested, exc.remaining, exc.total, layer=name
+            ) from None
         mapping = LayerCopyMapping(
             name, phase, matrix_shape, ids.reshape(nbr, nbc), rows, cols
         )
@@ -167,7 +236,11 @@ class Chip:
     def pairs_remaining(self) -> int:
         return len(self._alloc_order) - self._alloc_cursor
 
-    def idle_pair_ids(self) -> list[int]:
+    def allocatable_pair_ids(self) -> list[int]:
+        """All non-spare pair ids in allocation order (allocated or not)."""
+        return list(self._alloc_order)
+
+    def idle_pair_ids(self, occupied: set[int] | None = None) -> list[int]:
         """Allocatable pairs not currently hosting any task.
 
         These are ordinary chip crossbars (not reserved spares): pairs the
@@ -175,11 +248,35 @@ class Chip:
         never-allocated headroom.  Remap-D may move tasks onto them — the
         paper's "already available crossbars, which may or may not be
         fault-free".
+
+        ``occupied`` overrides the used-pair set; a fleet passes the
+        *global* occupancy here because evicted tasks hosted on this chip
+        are registered in a foreign chip's mapping list.
         """
-        used: set[int] = set()
-        for mapping in self.mappings:
-            used.update(int(p) for p in mapping.pair_ids.ravel())
-        return [pid for pid in self._alloc_order if pid not in used]
+        if occupied is None:
+            occupied = set()
+            for mapping in self.mappings:
+                occupied.update(int(p) for p in mapping.pair_ids.ravel())
+        return [pid for pid in self._alloc_order if pid not in occupied]
+
+    def find_eviction_pair(
+        self, occupied: set[int], density: np.ndarray | None = None
+    ) -> int:
+        """Cleanest free pair to receive an evicted task (read-only probe).
+
+        Raises :class:`SpareExhaustedError` when every allocatable pair is
+        occupied — the signal a fleet planner uses to move on to the next
+        candidate chip.  With ``density`` (BIST estimates indexed by global
+        pair id) the least-faulty free pair wins, ties broken by id.
+        """
+        free = [pid for pid in self._alloc_order if pid not in occupied]
+        if not free:
+            raise SpareExhaustedError(
+                self.chip_id, 1, 0, len(self._alloc_order)
+            )
+        if density is None:
+            return free[0]
+        return min(free, key=lambda pid: (float(density[pid]), pid))
 
     def move_task(
         self,
@@ -194,8 +291,10 @@ class Chip:
         """
         source_pair = int(mapping.pair_ids[block])
         mapping.set_pair(block[0], block[1], target_pair)
-        touched = list(self.pairs[target_pair].crossbar_ids())
-        self.wear.record(np.asarray(touched, dtype=np.int64), 1)
+        touched = np.asarray(
+            list(self.pair(target_pair).crossbar_ids()), dtype=np.int64
+        )
+        self.wear.record(touched - self.crossbar_base, 1)
         self.bump_fault_version()
         self.task_moves += 1
         self.telemetry.event(
@@ -215,11 +314,20 @@ class Chip:
     # training-side bookkeeping
     # ------------------------------------------------------------------ #
     def record_update_writes(self, count: int = 1) -> None:
-        """Record ``count`` weight-update writes on every mapped crossbar."""
+        """Record ``count`` weight-update writes on every mapped crossbar.
+
+        Blocks evicted to a different chip are skipped here: the fleet's
+        own ``record_update_writes`` resolves every block to its hosting
+        chip's wear tracker.
+        """
         ids: list[int] = []
         for mapping in self.mappings:
-            ids.extend(mapping.crossbar_ids(self.pair))
-        self.wear.record(np.asarray(ids, dtype=np.int64), count)
+            for _, _, pair_id in mapping.iter_blocks():
+                if self.owns_pair(pair_id):
+                    ids.extend(self.pair(pair_id).crossbar_ids())
+        self.wear.record(
+            np.asarray(ids, dtype=np.int64) - self.crossbar_base, count
+        )
 
     def swap_tasks(
         self,
@@ -237,10 +345,11 @@ class Chip:
         pb = int(mapping_b.pair_ids[block_b])
         mapping_a.set_pair(block_a[0], block_a[1], pb)
         mapping_b.set_pair(block_b[0], block_b[1], pa)
-        touched = list(self.pairs[pa].crossbar_ids()) + list(
-            self.pairs[pb].crossbar_ids()
+        touched = np.asarray(
+            list(self.pair(pa).crossbar_ids()) + list(self.pair(pb).crossbar_ids()),
+            dtype=np.int64,
         )
-        self.wear.record(np.asarray(touched, dtype=np.int64), 1)
+        self.wear.record(touched - self.crossbar_base, 1)
         self.bump_fault_version()
         self.task_swaps += 1
         self.telemetry.event(
@@ -265,6 +374,7 @@ class Chip:
 
     def __repr__(self) -> str:
         return (
-            f"Chip(tiles={len(self.tiles)}, crossbars={self.num_crossbars}, "
+            f"Chip(id={self.chip_id}, tiles={len(self.tiles)}, "
+            f"crossbars={self.num_crossbars}, "
             f"pairs={self.num_pairs}, spares={len(self.spare_pair_ids)})"
         )

@@ -76,7 +76,7 @@ def chip_health(chip) -> dict[str, Any]:
     cells = sum(t["cells"] for t in tile_rows)
     faulty = sum(t["faulty"] for t in tile_rows)
     quarantined = sum(t["quarantined"] for t in tile_rows)
-    return {
+    health = {
         "cells": cells,
         "faulty": faulty,
         "sa0": sum(t["sa0"] for t in tile_rows),
@@ -87,6 +87,34 @@ def chip_health(chip) -> dict[str, Any]:
         "active_faulty": faulty - quarantined,
         "tiles": tile_rows,
     }
+    members = getattr(chip, "chips", None)
+    if members is not None:
+        # Fleet rollup: tag every tile with its hosting chip and add one
+        # summary row per member.  ``free_pairs`` uses the *global*
+        # occupancy — a pair hosting an evicted foreign task is busy even
+        # though its own chip's mappings never mention it.
+        for row in tile_rows:
+            row["chip"] = chip.chip_of_tile(row["tile"]).chip_id
+        chip_rows = []
+        for member in members:
+            rows = [r for r in tile_rows if r["chip"] == member.chip_id]
+            c_cells = sum(r["cells"] for r in rows)
+            c_faulty = sum(r["faulty"] for r in rows)
+            chip_rows.append({
+                "chip": member.chip_id,
+                "tiles": len(rows),
+                "cells": c_cells,
+                "faulty": c_faulty,
+                "sa0": sum(r["sa0"] for r in rows),
+                "sa1": sum(r["sa1"] for r in rows),
+                "density": c_faulty / c_cells if c_cells else 0.0,
+                "quarantined": sum(r["quarantined"] for r in rows),
+                "pairs": member.num_pairs,
+                "free_pairs": len(member.idle_pair_ids(occupied)),
+            })
+        health["chips"] = chip_rows
+        health["evictions"] = chip.evictions
+    return health
 
 
 def sample_health(

@@ -157,6 +157,53 @@ def _serving_section(
     }
 
 
+def _fleet_section(
+    events: list[dict[str, Any]], summary: dict[str, Any]
+) -> dict[str, Any] | None:
+    """Fleet view: placement, per-chip health rollup, migration timeline."""
+    counters = summary.get("counters", {})
+    built = None
+    chip_rows: list[dict[str, Any]] = []
+    migrations: list[dict[str, Any]] = []
+    stranded: list[dict[str, Any]] = []
+    for e in events:
+        kind = e.get("kind")
+        p = e.get("payload", {})
+        if kind == "fleet_built":
+            built = p
+        elif kind == "health_sample" and p.get("chips"):
+            chip_rows = p["chips"]  # keep the latest sample's rollup
+        elif kind == "task_evicted":
+            migrations.append({
+                "epoch": p.get("epoch"),
+                "task": p.get("task"),
+                "phase": p.get("phase"),
+                "source_chip": p.get("source_chip"),
+                "target_chip": p.get("target_chip"),
+                "source_pair": p.get("source_pair"),
+                "target_pair": p.get("target_pair"),
+                "chip_hops": int(p.get("chip_hops", 0)),
+                "transfer_cycles": int(p.get("transfer_cycles", 0)),
+                "transfer_flits": int(p.get("transfer_flits", 0)),
+            })
+        elif kind == "eviction_stranded":
+            stranded.append({"epoch": p.get("epoch"), "pairs": p.get("pairs")})
+    fleet_active = any(str(k).startswith("fleet.") for k in counters)
+    if not (built or chip_rows or migrations or fleet_active):
+        return None
+    return {
+        "built": built,
+        "chips": chip_rows,
+        "migrations": migrations,
+        "stranded": stranded,
+        "evictions": int(counters.get("fleet.evictions", 0)),
+        "interchip_transfers": int(counters.get("fleet.interchip_transfers", 0)),
+        "interchip_flits": int(counters.get("fleet.interchip_flits", 0)),
+        "interchip_cycles": int(counters.get("fleet.interchip_cycles", 0)),
+        "stranded_senders": int(counters.get("fleet.stranded_senders", 0)),
+    }
+
+
 def build_report(
     events: list[dict[str, Any]], summary: dict[str, Any] | None = None
 ) -> dict[str, Any]:
@@ -177,6 +224,7 @@ def build_report(
         "health_timeline": _health_timeline(events),
         "remap_timeline": _remap_timeline(events),
         "serving": _serving_section(events, summary),
+        "fleet": _fleet_section(events, summary),
         "cache": _cache_stats(summary.get("counters", {})),
     }
 
@@ -276,6 +324,46 @@ def render_report(report: dict[str, Any]) -> str:
             f"{render_sparkline(counts)}  total "
             f"{int(sum(counts))} over {len(counts)} passes"
         )
+
+    fleet = report.get("fleet")
+    if fleet:
+        built = fleet.get("built") or {}
+        lines = []
+        if built:
+            lines.append(
+                f"fleet: {built.get('chips')} chips, "
+                f"stage layers {built.get('stage_layers')}, "
+                f"stage pairs {built.get('stage_pairs')}"
+            )
+        lines.append(
+            f"cross-chip evictions: {fleet['evictions']} "
+            f"({fleet['interchip_transfers']} transfers, "
+            f"{fleet['interchip_flits']} flits, "
+            f"{fleet['interchip_cycles']} interconnect cycles, "
+            f"{fleet['stranded_senders']} stranded)"
+        )
+        sections.append("\n".join(lines))
+        if fleet.get("chips"):
+            sections.append(render_table(
+                ["chip", "tiles", "pairs", "free", "cells", "faulty",
+                 "density", "quarantined"],
+                [[c["chip"], c["tiles"], c["pairs"], c["free_pairs"],
+                  c["cells"], c["faulty"], f"{c['density']:.4%}",
+                  c["quarantined"]]
+                 for c in fleet["chips"]],
+                title="per-chip fleet health (final sample)",
+            ))
+        if fleet.get("migrations"):
+            sections.append(render_table(
+                ["epoch", "task", "from", "to", "pair", "hops", "cycles",
+                 "flits"],
+                [[m["epoch"], m["task"],
+                  f"chip{m['source_chip']}", f"chip{m['target_chip']}",
+                  f"{m['source_pair']}->{m['target_pair']}",
+                  m["chip_hops"], m["transfer_cycles"], m["transfer_flits"]]
+                 for m in fleet["migrations"]],
+                title="cross-chip migration timeline",
+            ))
 
     serving = report.get("serving")
     if serving:

@@ -156,11 +156,22 @@ class FaultConfig:
     #: only ("forward" or "backward"); None disables it.
     phase_target: str | None = None
     phase_density: float = 0.02
+    #: chaos fault wave: at the end of epoch ``wave_epoch`` every crossbar
+    #: of chip ``wave_chip`` acquires ``wave_density`` extra stuck cells.
+    #: This is the spare-exhaustion stress used by the fleet benches and
+    #: the CI eviction smoke; ``None`` disables it (the default — existing
+    #: runs draw no extra randomness).
+    wave_epoch: int | None = None
+    wave_chip: int = 0
+    wave_density: float = 0.05
 
     def __post_init__(self) -> None:
         if self.phase_target not in (None, "forward", "backward"):
             raise ValueError("phase_target must be None, 'forward' or 'backward'")
         _check_fraction("phase_density", self.phase_density)
+        _check_fraction("wave_density", self.wave_density)
+        if self.wave_chip < 0:
+            raise ValueError("wave_chip must be non-negative")
         _check_fraction("pre_high_fraction", self.pre_high_fraction)
         _check_fraction("post_n", self.post_n)
         _check_fraction("post_m", self.post_m)
@@ -277,11 +288,24 @@ class ExperimentConfig:
     #: applied on top of the stuck-at faults; None disables it.
     variation: "VariationModel | None" = None
     seed: int = 0
+    #: number of simulated chips the model is sharded across.  1 (the
+    #: default) keeps the original single-chip stack — bit-identical to
+    #: the pre-fleet code path; >= 2 pipeline-partitions the model's
+    #: layers over a :class:`~repro.fleet.ChipFleet` with a cross-chip
+    #: eviction path in the remap protocol.
+    chips: int = 1
+    #: per-chip capacity headroom factor (the ``slack`` of
+    #: ``size_chip_for_model``, applied per pipeline stage in fleet mode).
+    chip_slack: float = 2.0
 
     def __post_init__(self) -> None:
         _check_fraction("remap_threshold", self.remap_threshold)
         if self.policy_param < 0:
             raise ValueError("policy_param must be non-negative")
+        if self.chips < 1:
+            raise ValueError("chips must be >= 1")
+        if self.chip_slack < 1.0:
+            raise ValueError("chip_slack must be >= 1.0")
 
     def to_dict(self) -> dict[str, Any]:
         """Serialise the full configuration to plain dicts."""

@@ -176,3 +176,63 @@ class TestTrafficModels:
             cm, senders=[0], responders={0: [1]}, matches={0: 1}, weight_bits=256
         )
         assert resps == [] and xfers == []
+
+
+class TestTopologyEdgeCases:
+    """Degenerate geometries: single-row/column meshes, c-mesh boundaries."""
+
+    @pytest.mark.parametrize("rows,cols", [(1, 5), (5, 1), (1, 1)])
+    def test_degenerate_mesh_routing(self, rows, cols):
+        mesh = Mesh(rows, cols)
+        for src in range(mesh.num_routers):
+            for dst in range(mesh.num_routers):
+                route = mesh.xy_route(src, dst)
+                assert route[0] == src and route[-1] == dst
+                assert len(route) - 1 == mesh.hop_distance(src, dst)
+
+    @pytest.mark.parametrize("rows,cols", [(1, 4), (4, 1)])
+    def test_degenerate_mesh_multicast_covers_all_once(self, rows, cols):
+        mesh = Mesh(rows, cols)
+        for src in range(mesh.num_routers):
+            tree = build_xy_tree(mesh, src)
+            children = [k for kids in tree.values() for k in kids]
+            assert len(children) == len(set(children)) == mesh.num_routers - 1
+            assert set(tree) == set(range(mesh.num_routers))
+
+    def test_multicast_prune_survives_deep_mesh(self):
+        # The recursive prune used to hit the interpreter recursion limit
+        # on meshes deeper than ~1000 routers.
+        mesh = Mesh(1, 1500)
+        tree = build_xy_tree(mesh, 0, targets={1499})
+        assert len(tree) == 1500
+        assert tree_links(tree)[-1][1] == 1499
+
+    def test_multicast_rejects_out_of_mesh_target(self):
+        with pytest.raises(ValueError):
+            build_xy_tree(Mesh(2, 2), 0, targets={4})
+
+    def test_cmesh_tile_distance_at_concentration_boundaries(self):
+        cm = CMesh(2, 3, concentration=4)
+        last = cm.num_tiles - 1
+        # first/last tile of the same router: co-located, zero hops
+        assert cm.tile_distance(last - 3, last) == 0
+        # adjacent tiles across a router boundary: one hop
+        assert cm.tile_distance(3, 4) == 1
+        assert cm.router_of(last) == cm.num_routers - 1
+        # corner-to-corner equals the router Manhattan distance
+        assert cm.tile_distance(0, last) == cm.hop_distance(
+            0, cm.num_routers - 1
+        )
+
+    @pytest.mark.parametrize("bad", [-1, 24])
+    def test_cmesh_rejects_out_of_range_tiles(self, bad):
+        cm = CMesh(2, 3, concentration=4)
+        with pytest.raises(ValueError):
+            cm.tile_distance(bad, 0)
+
+    def test_cmesh_concentration_one_degenerates_to_mesh(self):
+        cm = CMesh(2, 2, concentration=1)
+        assert cm.num_tiles == cm.num_routers
+        for a in range(cm.num_tiles):
+            for b in range(cm.num_tiles):
+                assert cm.tile_distance(a, b) == cm.hop_distance(a, b)
