@@ -34,6 +34,7 @@ import os
 import pathlib
 from typing import Any, Iterable
 
+from repro.analog import AnalogConfig
 from repro.runner import CellResult, ExperimentCell, results_by_key, run_experiments
 from repro.utils.config import (
     ChipConfig,
@@ -102,6 +103,7 @@ def experiment(
     dataset: str = "synth-cifar10",
     policy_param: float = 0.0,
     seed: int = 1,
+    analog: AnalogConfig | None = None,
 ) -> ExperimentConfig:
     return ExperimentConfig(
         train=train_config(model, dataset),
@@ -111,6 +113,7 @@ def experiment(
         policy_param=policy_param,
         remap_threshold=0.001,
         seed=seed,
+        analog=analog,
     )
 
 

@@ -1,0 +1,174 @@
+"""Analog-realism ablation — Fig. 5/6 legs rerun under each non-ideality.
+
+The remapping comparison of the paper assumes ideal analog peripherals.
+This bench reruns the headline legs with the `repro.analog` stack turned
+on one layer at a time (DAC/ADC quantization, conductance mapping,
+IR drop, soft errors with scrubbing) and all together:
+
+* a Fig. 6-style policy grid (none / remap-t-10% / remap-d under
+  pre+post faults) per analog preset, reporting each policy's accuracy
+  delta vs. its own ideal-periphery ("off") run;
+* a Fig. 5-style phase leg (2% backward-phase faults, no protection)
+  under "off" vs. "full" — the phase asymmetry must survive realistic
+  peripherals for the phase-priority rule to stay justified.
+
+Expected shape: the deterministic layers (quant / gmap / irdrop) are
+mild, scrubbed soft errors stay recoverable, and remap-d keeps its lead
+over no-protection under the full stack.
+"""
+
+from repro.analog import ANALOG_PRESETS
+from repro.runner import ExperimentCell
+from repro.utils.config import FaultConfig
+from repro.utils.tabulate import render_table
+
+from _common import (
+    MODELS,
+    SCALE,
+    experiment,
+    fig6_fault_config,
+    run_cells,
+    save_results,
+)
+
+PRESETS = ["off", "quant", "gmap", "irdrop", "soft", "full"]
+
+POLICIES: list[tuple[str, str, float]] = [
+    ("none", "none", 0.0),
+    ("remap-t-10%", "remap-t", 0.10),
+    ("remap-d", "remap-d", 0.0),
+]
+
+PHASE_DENSITY = 0.02
+
+
+def _phase_cell(model: str, preset: str) -> ExperimentCell:
+    faults = FaultConfig(
+        pre_enabled=False,
+        post_enabled=False,
+        phase_target="backward",
+        phase_density=PHASE_DENSITY,
+    )
+    return ExperimentCell(
+        (model, "phase-bwd", preset),
+        experiment(model, "none", faults, analog=ANALOG_PRESETS[preset]),
+        tags={"leg": "fig5", "preset": preset},
+    )
+
+
+def run_analog() -> dict:
+    faults = fig6_fault_config()
+    cells = [
+        ExperimentCell(
+            (model, label, preset),
+            experiment(
+                model, policy, faults, policy_param=param,
+                analog=ANALOG_PRESETS[preset],
+            ),
+            tags={"leg": "fig6", "policy": policy, "preset": preset},
+        )
+        for model in MODELS
+        for label, policy, param in POLICIES
+        for preset in PRESETS
+    ]
+    cells += [
+        _phase_cell(model, preset)
+        for model in MODELS
+        for preset in ("off", "full")
+    ]
+    by_key = run_cells(cells, name="analog")
+
+    grid: dict[str, dict[str, dict[str, float]]] = {}
+    deltas: dict[str, dict[str, dict[str, float]]] = {}
+    for model in MODELS:
+        grid[model] = {}
+        deltas[model] = {}
+        for label, _, _ in POLICIES:
+            accs = {
+                preset: by_key[(model, label, preset)].final_accuracy
+                for preset in PRESETS
+            }
+            grid[model][label] = accs
+            deltas[model][label] = {
+                preset: accs[preset] - accs["off"]
+                for preset in PRESETS
+                if preset != "off"
+            }
+    phase: dict[str, dict[str, float]] = {
+        model: {
+            preset: by_key[(model, "phase-bwd", preset)].final_accuracy
+            for preset in ("off", "full")
+        }
+        for model in MODELS
+    }
+
+    labels = [label for label, _, _ in POLICIES]
+    rows = [
+        [model, label] + [grid[model][label][p] for p in PRESETS]
+        for model in MODELS
+        for label in labels
+    ]
+    print()
+    print(render_table(
+        ["model", "policy"] + PRESETS, rows,
+        title="Fig. 6 legs per analog preset (accuracy; paper assumes "
+              "ideal peripherals = the 'off' column)",
+        ndigits=3,
+    ))
+    delta_rows = [
+        [model, label]
+        + [deltas[model][label][p] for p in PRESETS if p != "off"]
+        for model in MODELS
+        for label in labels
+    ]
+    print(render_table(
+        ["model", "policy"] + [p for p in PRESETS if p != "off"],
+        delta_rows,
+        title="accuracy delta vs. ideal-periphery run of the same policy",
+        ndigits=3,
+    ))
+    phase_rows = [
+        [model, phase[model]["off"], phase[model]["full"]]
+        for model in MODELS
+    ]
+    print(render_table(
+        ["model", "bwd-2% (off)", "bwd-2% (full)"], phase_rows,
+        title="Fig. 5 backward leg under the full analog stack",
+        ndigits=3,
+    ))
+    payload = {"accuracy": grid, "delta_vs_off": deltas, "phase_bwd": phase}
+    save_results("analog", payload)
+    return payload
+
+
+def test_analog_ablation(benchmark):
+    payload = benchmark.pedantic(run_analog, rounds=1, iterations=1)
+    grid = payload["accuracy"]
+    mean = lambda label, preset: sum(  # noqa: E731
+        grid[m][label][preset] for m in MODELS
+    ) / len(MODELS)
+    # Every cell trained to a real accuracy (no NaN-ed failures).
+    for model in grid:
+        for label in grid[model]:
+            for acc in grid[model][label].values():
+                assert acc == acc, (model, label)
+    for accs in payload["phase_bwd"].values():
+        for acc in accs.values():
+            assert acc == acc
+    # Something learned somewhere: the grid is not uniformly at the
+    # 10-class chance floor.
+    best = max(
+        acc for m in grid.values() for pol in m.values()
+        for acc in pol.values()
+    )
+    assert best > 0.15
+    if SCALE == "quick":
+        # Four quick epochs under pre+post faults *plus* analog layers
+        # hover near chance — policy rankings there are noise, so the
+        # ordering gates only run at the default training recipe.
+        return
+    # The deterministic layers are perturbations, not catastrophes: the
+    # unprotected baseline still learns under the full stack.
+    assert mean("none", "full") > 0.15
+    # Remap-D's headline survives realistic peripherals.
+    assert mean("remap-d", "full") > mean("none", "full") - 0.02

@@ -1,0 +1,119 @@
+"""Linear weight -> conductance mapping onto [G_min, G_max] pairs.
+
+Weights are stored differentially: a positive weight programs the G+
+device of its crossbar pair, a negative weight the G- device, and the
+idle device of the pair rests at ``g_min`` (PytorX's ``w2g``).  The map
+is linear over the calibrated clip range ``c``::
+
+    g+ = g_min + max(w, 0) / c * (g_max - g_min)
+    g- = g_min + max(-w, 0) / c * (g_max - g_min)
+    w' = (g+ - g-) / (g_max - g_min) * c        (differential read-out)
+
+so the ``g_min`` offset cancels in the read-out and the mapping is exact
+for ``|w| <= c``.  Real devices additionally program onto a finite set of
+conductance states: with ``levels`` states per device, each side
+quantizes to the nearest state (error <= half a state), and the
+round-trip weight error is bounded by **one weight LSB**
+``c / (levels - 1)`` — the property test pins this bound down.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "ConductanceConfig",
+    "weight_to_conductances",
+    "conductances_to_weight",
+    "quantize_conductance",
+    "conductance_roundtrip",
+    "weight_lsb",
+]
+
+
+@dataclass(frozen=True)
+class ConductanceConfig:
+    """Programmable conductance window and state count of one device.
+
+    Defaults match :class:`~repro.utils.config.CrossbarConfig`'s healthy
+    cell window (``g_off`` = 1 uS/M-ohm .. ``g_on`` = 100 uS/10k-ohm) with
+    8-bit programming (256 states), the PytorX default.
+    """
+
+    g_min: float = 1.0 / 1e6
+    g_max: float = 1.0 / 10e3
+    #: conductance states per device; 0 disables state quantization
+    #: (ideal continuous programming).
+    levels: int = 256
+
+    def __post_init__(self) -> None:
+        for name in ("g_min", "g_max"):
+            value = getattr(self, name)
+            if not math.isfinite(value) or value <= 0:
+                raise ValueError(f"{name} must be positive and finite")
+        if self.g_min >= self.g_max:
+            raise ValueError("g_min must lie below g_max")
+        if self.levels != 0 and self.levels < 2:
+            raise ValueError("levels must be 0 (continuous) or >= 2")
+
+    @property
+    def span(self) -> float:
+        return self.g_max - self.g_min
+
+
+def weight_to_conductances(
+    w: np.ndarray, clip: float, config: ConductanceConfig
+) -> tuple[np.ndarray, np.ndarray]:
+    """Map weights onto the (G+, G-) differential pair conductances."""
+    if clip <= 0 or not math.isfinite(clip):
+        raise ValueError("clip must be positive and finite")
+    scale = config.span / clip
+    g_pos = np.clip(w, 0.0, clip) * scale
+    g_pos += config.g_min
+    g_neg = np.clip(-w, 0.0, clip) * scale  # type: ignore[operator]
+    g_neg += config.g_min
+    return g_pos, g_neg
+
+
+def conductances_to_weight(
+    g_pos: np.ndarray, g_neg: np.ndarray, clip: float, config: ConductanceConfig
+) -> np.ndarray:
+    """Differential read-out back into weight units (g_min cancels)."""
+    return (g_pos - g_neg) * (clip / config.span)
+
+
+def quantize_conductance(g: np.ndarray, config: ConductanceConfig) -> np.ndarray:
+    """Snap conductances to the device's nearest programmable state."""
+    if config.levels == 0:
+        return g
+    step = config.span / (config.levels - 1)
+    out = g - config.g_min
+    out /= step
+    np.round(out, out=out)
+    out *= step
+    out += config.g_min
+    return out
+
+
+def conductance_roundtrip(
+    w: np.ndarray, clip: float, config: ConductanceConfig
+) -> np.ndarray:
+    """Full program/read cycle: map, snap to device states, read out.
+
+    Returns a fresh array; ``w`` is never mutated.  For ``|w| <= clip``
+    the result is within :func:`weight_lsb` of ``w``.
+    """
+    g_pos, g_neg = weight_to_conductances(w, clip, config)
+    g_pos = quantize_conductance(g_pos, config)
+    g_neg = quantize_conductance(g_neg, config)
+    return conductances_to_weight(g_pos, g_neg, clip, config)
+
+
+def weight_lsb(clip: float, config: ConductanceConfig) -> float:
+    """One weight-unit LSB of the device state grid (0 when continuous)."""
+    if config.levels == 0:
+        return 0.0
+    return clip / (config.levels - 1)

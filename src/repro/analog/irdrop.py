@@ -1,0 +1,99 @@
+"""First-order IR-drop model (wire/load conductance, X-CHANGR-style).
+
+The read voltage a cell actually sees is reduced by the series resistance
+of the word-line segments between the driver and the cell, and the column
+current is further divided by the bit-line segments down to the ADC plus
+the ADC's finite load conductance.  A full nodal solve (what PytorX's
+IR-drop mode does with a trained NN surrogate) is far too slow for a
+training loop; the standard first-order approximation treats each wire
+segment as an independent divider, giving a *deterministic,
+position-dependent attenuation* of the effective weight::
+
+    attn[i, j] = 1 / (1 + wire_ratio * dist(i, j) + load_ratio)
+    dist(i, j) = j + (rows - 1 - i)
+
+``dist`` counts wire segments: ``j`` word-line segments from the row
+driver (columns further right droop more) and ``rows - 1 - i`` bit-line
+segments down to the column ADC at the bottom edge.  The pattern repeats
+per physical crossbar block, so a weight matrix larger than one array is
+tiled with the block geometry.  Attenuation is per-column *and* per-row:
+the far corner of every block reads weakest — exactly the skew that makes
+IR drop dangerous for accuracy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["IRDropConfig", "attenuation_block", "attenuation_map"]
+
+
+@dataclass(frozen=True)
+class IRDropConfig:
+    """Relative wire/load conductance losses of one crossbar array.
+
+    Parameters
+    ----------
+    wire_ratio:
+        Average cell conductance over wire-segment conductance
+        (``g_cell / g_wire``): the per-segment fractional voltage drop.
+        Copper word/bit lines on a 128x128 array sit around 1e-3..5e-3.
+    load_ratio:
+        Cell-to-ADC-load conductance ratio (``g_cell / g_load``): a
+        position-independent divider at the column sense amplifier.
+    """
+
+    wire_ratio: float = 0.002
+    load_ratio: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("wire_ratio", "load_ratio"):
+            value = getattr(self, name)
+            if not math.isfinite(value) or value < 0:
+                raise ValueError(f"{name} must be non-negative and finite")
+
+    @property
+    def active(self) -> bool:
+        return self.wire_ratio > 0 or self.load_ratio > 0
+
+
+def attenuation_block(
+    rows: int, cols: int, config: IRDropConfig, dtype=np.float64
+) -> np.ndarray:
+    """Per-cell attenuation factors of one ``rows x cols`` array.
+
+    Values lie in ``(0, 1]``, strictly decreasing with distance from the
+    row driver (left edge) and from the column ADC (bottom edge).
+    """
+    if rows <= 0 or cols <= 0:
+        raise ValueError("block dimensions must be positive")
+    i = np.arange(rows, dtype=dtype)[:, None]
+    j = np.arange(cols, dtype=dtype)[None, :]
+    dist = j + (rows - 1 - i)
+    return np.asarray(
+        1.0 / (1.0 + config.wire_ratio * dist + config.load_ratio), dtype=dtype
+    )
+
+
+def attenuation_map(
+    shape: tuple[int, int],
+    block_shape: tuple[int, int],
+    config: IRDropConfig,
+    dtype=np.float64,
+) -> np.ndarray:
+    """Tile the per-block attenuation pattern over a full weight matrix.
+
+    ``shape`` is the stored-matrix shape; blocks repeat with the physical
+    array geometry ``block_shape`` and edge blocks are cropped, matching
+    how :func:`repro.reram.mapping.blocks_needed` partitions a matrix.
+    """
+    rows, cols = shape
+    block = attenuation_block(block_shape[0], block_shape[1], config, dtype)
+    reps = (
+        -(-rows // block_shape[0]),  # ceil-div
+        -(-cols // block_shape[1]),
+    )
+    return np.tile(block, reps)[:rows, :cols]

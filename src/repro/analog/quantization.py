@@ -1,0 +1,95 @@
+"""DAC/ADC quantization for crossbar MVMs (PytorX-style).
+
+A crossbar MVM converts digital inputs through a DAC onto the word lines
+and digitises the column currents through an ADC.  Both converters have a
+finite bit width and a finite full-scale range, so every value the analog
+array sees (and every value read back from it) lands on a uniform grid and
+saturates at the calibrated clip range.
+
+The quantizer here is the symmetric mid-tread uniform quantizer both
+converters share::
+
+    q(x) = round(clip(x, -c, c) / c * S) / S * c,   S = 2**(bits-1) - 1
+
+It is monotone in ``x``, exact at every representable level ``k*c/S``,
+and idempotent — ``q(q(x)) == q(x)`` — which makes an ADC that follows a
+DAC of the same width a no-op on already-converted values (the property
+tests in ``tests/test_analog.py`` pin all three guarantees down).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "QuantizationConfig",
+    "quantize_uniform",
+    "quantization_levels",
+    "clipped_fraction",
+]
+
+
+@dataclass(frozen=True)
+class QuantizationConfig:
+    """Bit widths and clip calibration of the DAC/ADC pair.
+
+    Parameters
+    ----------
+    dac_bits:
+        Input-side converter width: weights are written through the DAC
+        grid before they reach the array.
+    adc_bits:
+        Output-side converter width: the read-back values are re-gridded
+        by the column ADCs after all analog effects.
+    clip_headroom:
+        The clip range of both converters is calibrated per (layer, path)
+        from the first effective weight matrix seen:
+        ``clip = clip_headroom * max|W|``, then frozen — exactly how a
+        deployed converter's full-scale range is trimmed once at
+        programming time.  Values beyond it saturate (and are counted in
+        the ``analog.adc_clip_fraction`` histogram).
+    """
+
+    dac_bits: int = 8
+    adc_bits: int = 8
+    clip_headroom: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in ("dac_bits", "adc_bits"):
+            bits = getattr(self, name)
+            if not (2 <= bits <= 32):
+                raise ValueError(f"{name} must lie in [2, 32], got {bits}")
+        if not math.isfinite(self.clip_headroom) or self.clip_headroom <= 0:
+            raise ValueError("clip_headroom must be positive and finite")
+
+
+def quantization_levels(bits: int) -> int:
+    """Positive step count ``S`` of the symmetric mid-tread grid."""
+    if bits < 2:
+        raise ValueError("bits must be >= 2")
+    return 2 ** (bits - 1) - 1
+
+
+def quantize_uniform(x: np.ndarray, bits: int, clip: float) -> np.ndarray:
+    """Symmetric mid-tread uniform quantization onto ``[-clip, clip]``.
+
+    Returns a fresh array; ``x`` is never mutated.
+    """
+    if clip <= 0 or not math.isfinite(clip):
+        raise ValueError("clip must be positive and finite")
+    steps = quantization_levels(bits)
+    xn = np.clip(x, -clip, clip)
+    xn *= steps / clip  # np.clip allocated; safe to finish in place
+    np.round(xn, out=xn)
+    xn *= clip / steps
+    return xn
+
+
+def clipped_fraction(x: np.ndarray, clip: float) -> float:
+    """Fraction of entries saturating the converter clip range."""
+    if x.size == 0:
+        return 0.0
+    return float(np.count_nonzero(np.abs(x) > clip)) / x.size

@@ -1,0 +1,127 @@
+"""Transient soft errors with Poisson arrivals.
+
+Unlike the permanent stuck-at faults of :mod:`repro.faults`, soft errors
+are *transient* conductance upsets (random telegraph noise, read/write
+disturb, particle strikes): a cell's state flips to an extreme but the
+device itself is healthy — a rewrite fully restores it.  Following
+"Online Soft Error Tolerance in ReRAM Crossbars" (PAPERS.md), upsets
+arrive as a Poisson process over the programmed cells, and an online
+scrubbing pass (a BIST-driven scan plus targeted rewrites) repairs them
+between epochs; :mod:`repro.bist.scrub` prices that pass in ReRAM cycles.
+
+:class:`SoftErrorState` tracks the flipped cells of every (layer, path)
+weight matrix.  All draws come from a dedicated named RNG stream, so runs
+stay reproducible and (because streams are derived independently) runs
+*without* soft errors consume no extra randomness.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SoftErrorConfig", "SoftErrorState"]
+
+
+@dataclass(frozen=True)
+class SoftErrorConfig:
+    """Arrival rate and scrub switch for transient upsets.
+
+    Parameters
+    ----------
+    rate_per_mcell:
+        Expected upsets per million programmed cells per training epoch.
+        The default (500/Mcell/epoch = 0.05%) sits at the aggressive end
+        of the disturb rates the soft-error literature evaluates — low
+        enough that scrubbing keeps training healthy, high enough that
+        *not* scrubbing visibly accumulates.
+    scrub:
+        Run the online scrubbing pass at every epoch boundary: flipped
+        cells are repaired (and the pass charged to overheads) before the
+        next epoch's arrivals are drawn.  When False, flips accumulate
+        for the whole run — the ablation that shows why scrubbing exists.
+    """
+
+    rate_per_mcell: float = 500.0
+    scrub: bool = True
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.rate_per_mcell) or self.rate_per_mcell < 0:
+            raise ValueError("rate_per_mcell must be non-negative and finite")
+
+
+class SoftErrorState:
+    """Flipped-cell bookkeeping for every registered weight matrix.
+
+    ``version`` increments on every :meth:`advance_epoch`, giving the
+    effective-weight cache a key part that changes exactly when the flip
+    state may have changed.
+    """
+
+    def __init__(self, config: SoftErrorConfig, rng: np.random.Generator):
+        self.config = config
+        self.rng = rng
+        #: (layer key, path) -> cell count of the registered matrix.
+        self._cells: dict[tuple[str, str], int] = {}
+        #: (layer key, path) -> (flat indices, +-1 polarities).
+        self._flips: dict[tuple[str, str], tuple[np.ndarray, np.ndarray]] = {}
+        #: bumped by advance_epoch; part of the engine's cache key.
+        self.version = 0
+        #: lifetime counters (telemetry reads these via the stack).
+        self.total_injected = 0
+        self.total_repaired = 0
+
+    def register(self, key: str, path: str, cells: int) -> None:
+        """Record a weight matrix as a soft-error target (idempotent)."""
+        self._cells.setdefault((key, path), cells)
+
+    def flips(self, key: str, path: str) -> tuple[np.ndarray, np.ndarray] | None:
+        """Current (indices, polarities) of one matrix, or None."""
+        return self._flips.get((key, path))
+
+    @property
+    def flipped_cells(self) -> int:
+        """Total currently-flipped cells across all registered matrices."""
+        return sum(idx.size for idx, _ in self._flips.values())
+
+    def scrub(self) -> int:
+        """Repair every flipped cell (rewrite restores the true state)."""
+        repaired = self.flipped_cells
+        self._flips.clear()
+        self.total_repaired += repaired
+        return repaired
+
+    def advance_epoch(self) -> tuple[int, int]:
+        """One epoch boundary: scrub (if enabled), then draw new arrivals.
+
+        Returns ``(repaired, injected)`` cell counts.  Iteration is over
+        *sorted* sites so data-parallel replicas replaying the epoch
+        transition consume the RNG stream identically.
+        """
+        repaired = self.scrub() if self.config.scrub else 0
+        injected = 0
+        rate = self.config.rate_per_mcell / 1e6
+        if rate > 0:
+            for site in sorted(self._cells):
+                cells = self._cells[site]
+                count = int(self.rng.poisson(rate * cells))
+                if count == 0:
+                    continue
+                count = min(count, cells)
+                idx = self.rng.choice(cells, size=count, replace=False)
+                sign = self.rng.integers(0, 2, size=count) * 2 - 1
+                old = self._flips.get(site)
+                if old is not None:
+                    # Newest upset wins on a collision: np.unique keeps
+                    # the first occurrence, so new flips go in front.
+                    idx = np.concatenate([idx, old[0]])
+                    sign = np.concatenate([sign, old[1]])
+                    idx, first = np.unique(idx, return_index=True)
+                    sign = sign[first]
+                self._flips[site] = (idx, sign)
+                injected += count
+        self.total_injected += injected
+        self.version += 1
+        return repaired, injected

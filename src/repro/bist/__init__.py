@@ -23,6 +23,7 @@ from repro.bist.analog import (
     nominal_sa0_conductance,
 )
 from repro.bist.density import BistResult, run_bist, scan_chip, pair_density_estimates
+from repro.bist.scrub import ScrubReport, scrub_pass_cycles
 from repro.bist.timing import BistTiming
 from repro.bist.march import MarchResult, march_cminus, march_cost_cycles
 
@@ -38,6 +39,8 @@ __all__ = [
     "scan_chip",
     "pair_density_estimates",
     "BistTiming",
+    "ScrubReport",
+    "scrub_pass_cycles",
     "MarchResult",
     "march_cminus",
     "march_cost_cycles",

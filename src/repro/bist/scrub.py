@@ -1,0 +1,53 @@
+"""Cycle accounting for the online soft-error scrubbing pass.
+
+Scrubbing reuses the BIST machinery: one detection scan over every
+crossbar (BIST modules run in parallel across IMAs, so the chip-level
+latency is ``crossbars_per_ima`` back-to-back array passes — the same
+accounting as :class:`repro.bist.timing.BistTiming`), then a targeted
+write + verify-read per flipped cell.  Unlike the stuck-at BIST scan,
+the repair step *does* touch individual cells — that is what makes soft
+errors recoverable — so its cost scales with the number of repairs,
+not with the array size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bist.timing import BistTiming
+from repro.utils.config import ChipConfig
+
+__all__ = ["ScrubReport", "scrub_pass_cycles"]
+
+#: ReRAM cycles per repaired cell: one corrective write + one verify read.
+REPAIR_CYCLES_PER_CELL = 2
+
+
+@dataclass(frozen=True)
+class ScrubReport:
+    """Cost of one chip-level scrub pass, in ReRAM cycles."""
+
+    #: chip-level detection-scan latency (IMA-parallel BIST pass).
+    detect_cycles: int
+    #: flipped cells rewritten by this pass.
+    repaired_cells: int
+    #: write + verify cycles for the repairs.
+    repair_cycles: int
+
+    @property
+    def total_cycles(self) -> int:
+        return self.detect_cycles + self.repair_cycles
+
+
+def scrub_pass_cycles(chip: ChipConfig, repaired_cells: int) -> ScrubReport:
+    """Price one scrub pass on ``chip`` repairing ``repaired_cells``."""
+    if repaired_cells < 0:
+        raise ValueError("repaired_cells must be non-negative")
+    timing = BistTiming(chip.crossbar)
+    detect = chip.crossbars_per_ima * timing.total_cycles
+    repair = repaired_cells * REPAIR_CYCLES_PER_CELL
+    return ScrubReport(
+        detect_cycles=detect,
+        repaired_cells=repaired_cells,
+        repair_cycles=repair,
+    )

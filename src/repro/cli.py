@@ -37,6 +37,7 @@ from repro.core.controller import run_experiment
 from repro.core.policies import POLICY_NAMES
 from repro.nn.data import DATASET_NAMES
 from repro.nn.models import MODEL_NAMES
+from repro.analog import ANALOG_PRESETS, make_analog_config
 from repro.telemetry import Telemetry
 from repro.utils.charts import render_bars
 from repro.utils.config import (
@@ -78,6 +79,12 @@ def _training_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--wave-density", type=float, default=0.05,
                         help="extra stuck-cell fraction per crossbar the "
                              "wave injects")
+    parser.add_argument("--analog", choices=sorted(ANALOG_PRESETS),
+                        default="off",
+                        help="analog non-ideality preset: DAC/ADC "
+                             "quantization, conductance mapping, IR drop, "
+                             "soft errors + scrubbing (see repro.analog; "
+                             "'off' = the ideal-converter baseline)")
     parser.add_argument("--train-workers", type=int, default=0,
                         help="data-parallel training ranks (0 = single "
                              "process; capped at --grad-shards; the "
@@ -144,6 +151,7 @@ def _build_config(args: argparse.Namespace, model: str, policy: str,
         policy=policy,
         policy_param=policy_param,
         remap_threshold=args.remap_threshold,
+        analog=make_analog_config(getattr(args, "analog", "off")),
         chips=chips,
         seed=seed,
     )

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from repro.analog import AnalogStack
 from repro.bist.density import pair_density_estimates, scan_chip
 from repro.core.policies import Policy, make_policy
 from repro.core.remap_protocol import RemapPlan
@@ -284,6 +285,22 @@ def build_experiment(
         trainer = Trainer(model, dataset, tc, hub.stream("train"), telemetry=tel)
     if config.variation is not None:
         engine.set_variation(config.variation, hub.stream("variation"))
+    if config.analog is not None and config.analog.active:
+        # The soft-error stream is derived only when that layer is on, so
+        # configs without it consume no extra randomness (and analog-off
+        # runs stay bit-identical to the pre-analog code path).
+        engine.set_analog(
+            AnalogStack(
+                config.analog,
+                rng=(
+                    hub.stream("soft-error")
+                    if config.analog.soft_error is not None
+                    else None
+                ),
+                chip_config=config.chip,
+                telemetry=tel,
+            )
+        )
     engine.telemetry = tel
     if isinstance(chip, ChipFleet):
         # Per-epoch history records carry the fleet's cumulative eviction
@@ -357,6 +374,16 @@ def apply_epoch_end(
         and epoch == ctx.config.faults.wave_epoch
     ):
         inject_fault_wave(ctx, epoch)
+    # Analog epoch boundary, *before* the BIST scan and the policy react:
+    # retention drift advances one epoch (visible to the weight cache
+    # through its ``drift_epochs`` key part — the dead-path fix for
+    # ``VariationModel.apply_drift``), and the soft-error layer runs its
+    # scrub pass + draws the next epoch's Poisson arrivals.  Both are
+    # deterministic, so data-parallel replicas replaying this transition
+    # stay bit-identical.
+    ctx.engine.advance_drift()
+    if ctx.engine.analog is not None:
+        ctx.engine.analog.advance_epoch(epoch)
     if policy.uses_bist:
         t_scan = time.perf_counter()
         with tel.span("bist_scan", epoch=epoch):

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.bist.scrub import scrub_pass_cycles
 from repro.bist.timing import BistTiming
 from repro.core.remap_protocol import RemapPlan
 from repro.nn.fault_aware import CrossbarEngine
@@ -32,6 +33,7 @@ __all__ = [
     "estimate_mvms_per_sample",
     "epoch_traffic_model",
     "bist_overhead_fraction",
+    "scrub_overhead_fraction",
     "remap_noc_overhead",
     "monte_carlo_remap_overhead",
     "interchip_transfer_cycles",
@@ -140,6 +142,24 @@ def bist_overhead_fraction(
     timing = BistTiming(chip_config.crossbar)
     pass_cycles = timing.total_cycles * chip_config.crossbars_per_ima
     return pass_cycles / traffic.epoch_cycles
+
+
+def scrub_overhead_fraction(
+    traffic: TrainingTrafficModel,
+    chip_config: ChipConfig,
+    repaired_cells: int,
+) -> float:
+    """Soft-error scrub wall-clock per epoch over epoch compute time.
+
+    The scrub pass reuses the BIST detection scan (IMA-parallel, same
+    chip-level latency as :func:`bist_overhead_fraction`'s pass) and adds
+    a write + verify-read per repaired cell — see
+    :func:`repro.bist.scrub.scrub_pass_cycles`.  At realistic upset rates
+    this lands in the same sub-percent band as the BIST overhead, which
+    is the point: online scrubbing is affordable every epoch.
+    """
+    report = scrub_pass_cycles(chip_config, repaired_cells)
+    return report.total_cycles / traffic.epoch_cycles
 
 
 def remap_noc_overhead(

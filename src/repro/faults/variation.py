@@ -17,6 +17,7 @@ runs stay reproducible.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -50,6 +51,14 @@ class VariationModel:
     def __post_init__(self) -> None:
         for name in ("program_sigma", "read_sigma", "drift_per_epoch"):
             value = getattr(self, name)
+            # NaN compares False against everything, so an explicit
+            # finiteness check must come first or NaN would sail through
+            # the range checks below and poison every weight read.
+            if not math.isfinite(value):
+                raise ValueError(
+                    f"{name} must be finite, got {value!r} "
+                    "(NaN/inf sigmas would corrupt every effective weight)"
+                )
             if value < 0:
                 raise ValueError(f"{name} must be non-negative")
         if self.drift_per_epoch >= 1.0:
@@ -62,6 +71,19 @@ class VariationModel:
             or self.read_sigma > 0
             or self.drift_per_epoch > 0
         )
+
+    @property
+    def stochastic(self) -> bool:
+        """True when any *per-read* random term is enabled.
+
+        Programming error and read noise are redrawn on every weight
+        read, so the engine must bypass its effective-weight cache while
+        they are active.  Drift is excluded deliberately: it is a pure
+        function of the epoch count, which the engine carries in its
+        cache key (``drift_epochs``) — a drift-only model stays fully
+        cached.
+        """
+        return self.program_sigma > 0 or self.read_sigma > 0
 
     # ------------------------------------------------------------------ #
     def apply_program_error(
@@ -94,11 +116,14 @@ class VariationModel:
         return weights * (1.0 - self.drift_per_epoch) ** epochs
 
     def describe(self) -> str:
+        # Explicit ``> 0`` comparisons (not truthiness): a field set to
+        # an explicit 0.0 via ``dataclasses.replace`` reports identically
+        # to a default zero, whatever exotic float (e.g. -0.0) it holds.
         parts = []
-        if self.program_sigma:
+        if self.program_sigma > 0:
             parts.append(f"program sigma={self.program_sigma:.3f}")
-        if self.read_sigma:
+        if self.read_sigma > 0:
             parts.append(f"read sigma={self.read_sigma:.3f}")
-        if self.drift_per_epoch:
+        if self.drift_per_epoch > 0:
             parts.append(f"drift={self.drift_per_epoch:.3%}/epoch")
         return ", ".join(parts) if parts else "no analog variation"

@@ -30,13 +30,23 @@ layer's effective matrices keyed on the triple of monotonic versions
 * ``CrossbarEngine.override_version`` — bumped by ``set_override`` /
   ``clear_overrides``.
 
+plus two *state* parts that version the deterministic analog layers:
+
+* ``drift_epochs`` — epoch boundaries since the last full reprogram
+  (:meth:`CrossbarEngine.advance_drift` / ``refresh_programming``);
+  retention drift is a pure function of this count;
+* the :class:`~repro.analog.AnalogStack` version key (layer-config hash +
+  soft-error epoch version) when an analog stack is attached.
+
 During training every step changes the weights, so the cache simply
 avoids re-clamping within a batch; during evaluation and BIST/remap
 passes nothing changes between batches, so the clamp runs **once per
-fault state** instead of once per batch.  The variation-noise mode
-redraws programming error per read and bypasses the cache entirely.
-Returned arrays are owned by the engine: valid until the layer's next
-recompute, and must not be mutated by callers.
+fault state** instead of once per batch.  Only the *stochastic*
+variation mode (programming error / read noise, redrawn per read)
+bypasses the cache; drift and the analog stack are deterministic per
+key, so they stay cached.  Returned arrays are owned by the engine:
+valid until the layer's next recompute, and must not be mutated by
+callers.
 """
 
 from __future__ import annotations
@@ -69,6 +79,14 @@ class CrossbarEngine:
         #: noise); None disables it.  Set together with variation_rng.
         self.variation: VariationModel | None = None
         self.variation_rng: np.random.Generator | None = None
+        #: optional composable analog non-ideality stack (repro.analog):
+        #: DAC/ADC quantization, conductance mapping, IR drop, soft
+        #: errors.  Deterministic per cache key — see :meth:`set_analog`.
+        self.analog = None
+        #: epoch boundaries since the last full reprogram; drives the
+        #: retention-drift term of :attr:`variation` and is part of every
+        #: cache key (so drifted weights never alias fresh ones).
+        self.drift_epochs = 0
         #: master switch for the version-keyed effective-weight cache
         #: (disable to force a fresh clamp on every read — the pre-cache
         #: behaviour the equivalence tests compare against).
@@ -166,21 +184,11 @@ class CrossbarEngine:
         """
         if not self.faults_enabled:
             return w2d, (w2d if need_backward else None)
-        if (
-            not self.cache_enabled
-            or (self.variation is not None and self.variation.active)
-        ):
+        if not self.cache_enabled or self._stochastic:
             w_fwd = self._effective_weight(key, w2d, "fwd")
             w_bwd = self._effective_weight(key, w2d, "bwd") if need_backward else None
             return w_fwd, w_bwd
-        weight = self._weights.get(key)
-        ck = (
-            weight.version if weight is not None else -1,
-            self.chip.fault_version,
-            self.override_version,
-            w2d.dtype.str,
-            self._home_chip.get(key, 0),
-        )
+        ck = self._version_key(key, w2d)
         cached = self._step_cache.get(key)
         if cached is not None and cached[0] == ck and (
             cached[2] is not None or not need_backward
@@ -192,31 +200,58 @@ class CrossbarEngine:
         self._step_cache[key] = (ck, w_fwd, w_bwd)
         return w_fwd, w_bwd
 
-    def _effective_weight(self, key: str, w2d: np.ndarray, path: str) -> np.ndarray:
-        if not self.faults_enabled:
-            return w2d
-        if self.variation is not None and self.variation.active:
-            # Programming error / read noise is redrawn per read — the
-            # effective weight is not a pure function of the versions.
-            eff, _ = self._compute_weight(key, w2d, path)
-            return self._apply_variation(eff)
-        if not self.cache_enabled:
-            eff, _ = self._compute_weight(key, w2d, path)
-            return eff
+    @property
+    def _stochastic(self) -> bool:
+        """True while a per-read random term (programming error / read
+        noise) is active — the only state that forces a cache bypass."""
+        v = self.variation
+        return v is not None and v.stochastic
+
+    def _version_key(self, key: str, w2d: np.ndarray) -> tuple:
+        """The full cache key: monotonic versions + analog layer state.
+
+        Every piece of state that can change an effective weight is
+        visible here; anything *not* representable as a key part (the
+        stochastic variation mode) bypasses the cache instead.  The
+        audit test (tests/test_analog.py) locks this invariant down.
+        """
         weight = self._weights.get(key)
-        ck = (
+        analog = self.analog
+        return (
             weight.version if weight is not None else -1,
             self.chip.fault_version,
             self.override_version,
             w2d.dtype.str,
             self._home_chip.get(key, 0),
+            self.drift_epochs,
+            analog.version_key() if analog is not None else None,
         )
+
+    def _effective_weight(self, key: str, w2d: np.ndarray, path: str) -> np.ndarray:
+        if not self.faults_enabled:
+            return w2d
+        if self._stochastic:
+            # Programming error / read noise is redrawn per read — the
+            # effective weight is not a pure function of the versions,
+            # so the cache is bypassed entirely.
+            eff, _ = self._compute_weight(key, w2d, path)
+            eff = self._apply_deterministic(key, eff, path)
+            return self._apply_variation(eff)
+        if not self.cache_enabled:
+            eff, _ = self._compute_weight(key, w2d, path)
+            return self._apply_deterministic(key, eff, path)
+        ck = self._version_key(key, w2d)
         cached = self._eff_cache.get((key, path))
         if cached is not None and cached[0] == ck:
             self.cache_hits += 1
             return cached[1]
         self.cache_misses += 1
         eff, shared = self._compute_weight(key, w2d, path)
+        det = self._apply_deterministic(key, eff, path)
+        if det is not eff:
+            # Drift / analog layers allocated a fresh array the engine
+            # owns outright — no buffer copy needed.
+            eff, shared = det, False
         if shared:
             # The mapping's buffer is overwritten by its next clamp; keep
             # an engine-owned copy so the cache survives foreign calls.
@@ -294,11 +329,63 @@ class CrossbarEngine:
         return eff
 
     def set_variation(
-        self, model: VariationModel, rng: np.random.Generator
+        self, model: VariationModel | None, rng: np.random.Generator | None
     ) -> None:
-        """Enable the analog non-ideality model for all weight reads."""
+        """Enable (or clear) the variation model for all weight reads.
+
+        Drops every cached effective weight: entries computed under the
+        previous variation state must never be served under the new one
+        (the cache keys version the *deterministic* layers only, so a
+        change of model is invisible to them).
+        """
         self.variation = model
         self.variation_rng = rng
+        self.invalidate_weight_cache()
+
+    def set_analog(self, stack) -> None:
+        """Attach a :class:`repro.analog.AnalogStack` (or ``None``).
+
+        The stack's layers are deterministic per cache key — its
+        :meth:`~repro.analog.AnalogStack.version_key` (config hash +
+        soft-error epoch version) joins the key, so analog runs keep the
+        cache instead of bypassing it.  Pre-attach entries are dropped
+        for the same reason as in :meth:`set_variation`.
+        """
+        self.analog = stack
+        self.invalidate_weight_cache()
+
+    def advance_drift(self, epochs: int = 1) -> None:
+        """Advance retention-drift time by ``epochs`` epoch boundaries.
+
+        Called by the controller's epoch transition.  A no-op unless the
+        variation model actually drifts, so drift-free runs keep their
+        cache keys (and their golden bit-identity) unchanged.
+        """
+        if self.variation is not None and self.variation.drift_per_epoch > 0:
+            self.drift_epochs += epochs
+
+    def refresh_programming(self) -> None:
+        """Model a full reprogram: a fresh write restores every device to
+        its target conductance, clearing accumulated retention drift."""
+        self.drift_epochs = 0
+
+    def _apply_deterministic(
+        self, key: str, eff: np.ndarray, path: str
+    ) -> np.ndarray:
+        """Deterministic analog layers: retention drift + the analog stack.
+
+        Pure functions of (values, cache-key state) — safe to cache.
+        Never mutates ``eff``, which may alias the layer's live weight
+        array (fault-free passthrough) or a mapping's shared clamp
+        buffer; returns a fresh array when any layer is active.
+        """
+        vm = self.variation
+        if vm is not None and self.drift_epochs > 0 and vm.drift_per_epoch > 0:
+            eff = vm.apply_drift(eff, self.drift_epochs)
+        analog = self.analog
+        if analog is not None and analog.active:
+            eff = analog.apply(key, path, eff)
+        return eff
 
     def _apply_variation(self, eff: np.ndarray) -> np.ndarray:
         """Programming error + read noise on an effective weight matrix.
@@ -307,7 +394,7 @@ class CrossbarEngine:
         programming error is redrawn per read; read noise is cycle-to-
         cycle by definition.
         """
-        if self.variation is None or not self.variation.active:
+        if self.variation is None or not self.variation.stochastic:
             return eff
         assert self.variation_rng is not None
         out = self.variation.apply_program_error(eff, self.variation_rng)

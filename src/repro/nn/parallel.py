@@ -445,10 +445,12 @@ class DataParallelTrainer(Trainer):
     Rank 0 is this process; ranks 1..world-1 are persistent worker
     processes started lazily on the first ``train_epoch`` call.  The
     ``world`` argument is the *requested* rank count; it degrades to 1
-    (in-process sharded execution, same numerics) when an analog
+    (in-process sharded execution, same numerics) when a *stochastic*
     variation model is active — its per-read RNG draws cannot be kept in
-    lockstep across processes — or when this process is itself a daemon
-    worker (the benchmark runner's pool) and may not spawn children.
+    lockstep across processes (drift-only variation and the
+    deterministic ``repro.analog`` layers parallelise fine) — or when
+    this process is itself a daemon worker (the benchmark runner's pool)
+    and may not spawn children.
 
     ``experiment`` is the full :class:`ExperimentConfig` the workers
     rebuild their replicas from; without it multi-process execution is
@@ -490,8 +492,14 @@ class DataParallelTrainer(Trainer):
         reason = None
         if self.experiment is None:
             reason = "no experiment config"
-        elif self.experiment.variation is not None:
-            reason = "variation model active"
+        elif (
+            self.experiment.variation is not None
+            and self.experiment.variation.stochastic
+        ):
+            # Only the *stochastic* terms force the fallback: drift and
+            # the repro.analog layers are deterministic per epoch and are
+            # replayed identically by every replica's epoch transition.
+            reason = "stochastic variation model active"
         elif mp.current_process().daemon:
             reason = "daemon process"
         if reason is not None:

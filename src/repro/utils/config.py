@@ -11,6 +11,7 @@ from dataclasses import dataclass, field, asdict
 from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (annotation only)
+    from repro.analog import AnalogConfig
     from repro.faults.variation import VariationModel
 
 __all__ = [
@@ -287,6 +288,11 @@ class ExperimentConfig:
     #: optional analog non-ideality model (programming error, read noise)
     #: applied on top of the stuck-at faults; None disables it.
     variation: "VariationModel | None" = None
+    #: optional composable analog layer stack (DAC/ADC quantization,
+    #: conductance mapping, IR drop, transient soft errors + scrubbing);
+    #: None disables it — see :mod:`repro.analog` and the ``--analog``
+    #: CLI presets.
+    analog: "AnalogConfig | None" = None
     seed: int = 0
     #: number of simulated chips the model is sharded across.  1 (the
     #: default) keeps the original single-chip stack — bit-identical to
