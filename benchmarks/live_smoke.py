@@ -1,0 +1,164 @@
+"""Live-monitoring smoke: metrics endpoint, SLO breach, flight dump.
+
+Launches a real ``repro sweep`` subprocess with the monitoring plane on
+(``--metrics-port`` + ``--alert`` + ``--flight-dir``) and one worker
+SIGKILL'd mid-sweep by the ``REPRO_RUNNER_CHAOS`` injector, then asserts
+the observability contract end to end:
+
+* mid-run ``GET /metrics`` answers valid Prometheus text exposition and
+  the counters are *increasing* between scrapes — the live view is fed
+  by streaming, not reconstructed after the fact;
+* ``GET /snapshot.json`` carries the alert states ``repro top`` renders;
+* the chaos-forced retry violates the ``runner.retries <= 0`` SLO rule:
+  an ``alert_fired`` event lands in the trace and the sweep exits with
+  the dedicated SLO-breach code (3) even though every cell succeeded;
+* the SIGKILL'd worker leaves a flight-recorder dump that
+  ``repro report`` renders.
+
+Used as the CI live-monitoring gate; also runnable by hand::
+
+    PYTHONPATH=src REPRO_BENCH_SCALE=quick python benchmarks/live_smoke.py
+"""
+
+import glob
+import json
+import os
+import socket
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+os.environ.setdefault("REPRO_BENCH_SCALE", "quick")
+
+TRACE = "live_trace.jsonl"
+FLIGHT_DIR = "flights"
+EXIT_SLO_BREACH = 3
+SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                   "src")
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _scrape(port: int) -> str | None:
+    try:
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}/metrics", timeout=2.0
+        ) as resp:
+            return resp.read().decode("utf-8")
+    except (urllib.error.URLError, OSError):
+        return None
+
+
+def _counters(text: str) -> dict[str, int]:
+    out: dict[str, int] = {}
+    for line in text.splitlines():
+        if line.startswith("#") or not line.strip():
+            continue
+        name, _, value = line.partition(" ")
+        if name.endswith("_total") and "{" not in name:
+            out[name] = int(float(value))
+    return out
+
+
+def main() -> int:
+    port = _free_port()
+    env = dict(
+        os.environ,
+        PYTHONPATH=os.pathsep.join(
+            p for p in (SRC, os.environ.get("PYTHONPATH")) if p
+        ),
+        # SIGKILL the (vgg11, none, seed 2) cell's first attempt; the
+        # retry runs clean, so the only failure signal is the SLO rule.
+        REPRO_RUNNER_CHAOS="crash:('vgg11', 'none', 2, 1):1",
+        REPRO_TELEMETRY_FLUSH="0.1",  # snappy streaming for the scrapes
+    )
+    for stale in glob.glob(os.path.join(FLIGHT_DIR, "flight_*.jsonl")):
+        os.unlink(stale)
+    cmd = [
+        sys.executable, "-m", "repro", "sweep",
+        "--models", "vgg11", "resnet12",
+        "--policies", "none",
+        "--seeds", "1", "2",
+        "--workers", "2", "--retries", "2",
+        "--epochs", "2", "--n-train", "64", "--n-test", "32",
+        "--crossbar-size", "32", "--quiet",
+        "--trace", TRACE,
+        "--metrics-port", str(port),
+        "--alert", "runner.retries <= 0",
+        "--flight-dir", FLIGHT_DIR,
+    ]
+    proc = subprocess.Popen(cmd, env=env)
+
+    # Scrape the endpoint for as long as the sweep runs; every sample is
+    # a full Prometheus exposition whose *_total counters must ratchet.
+    samples: list[dict[str, int]] = []
+    saw_type_lines = False
+    while proc.poll() is None:
+        text = _scrape(port)
+        if text is not None:
+            assert text.endswith("\n"), "exposition must end with newline"
+            saw_type_lines |= any(
+                line.startswith("# TYPE repro_") for line in text.splitlines()
+            )
+            samples.append(_counters(text))
+        time.sleep(0.25)
+    code = proc.wait()
+
+    assert len(samples) >= 2, (
+        f"only {len(samples)} successful mid-run scrapes - sweep too fast "
+        "for the smoke, raise --epochs"
+    )
+    assert saw_type_lines, "no repro_-prefixed TYPE lines in exposition"
+    first, last = samples[0], samples[-1]
+    assert sum(last.values()) > sum(first.values()), (first, last)
+    # Parent-side runner counters ratchet strictly (worker sources use
+    # replace semantics, so a chaos retry may briefly reset one source).
+    runner_ok = all(
+        last.get(name, 0) >= value
+        for name, value in first.items()
+        if name.startswith("repro_runner_")
+    )
+    assert runner_ok, (first, last)
+
+    # The chaos retry breaches `runner.retries <= 0`: exit code 3, not 0
+    # (cells all passed) and not 1 (nothing hard-failed).
+    assert code == EXIT_SLO_BREACH, f"expected exit {EXIT_SLO_BREACH}, got {code}"
+
+    records = [json.loads(line) for line in open(TRACE, encoding="utf-8")]
+    fired = [r for r in records if r["kind"] == "alert_fired"]
+    assert fired, "no alert_fired event in the trace"
+    assert fired[0]["payload"]["rule"] == "runner.retries <= 0", fired
+    summary = [r["payload"] for r in records
+               if r["kind"] == "telemetry_summary"][-1]
+    assert summary["counters"].get("alerts.fired", 0) >= 1, summary["counters"]
+    assert summary["counters"].get("runner.cell_retries") == 1, \
+        summary["counters"]
+
+    # The SIGKILL'd worker never reached its exit path, so its last
+    # flight-recorder autodump must still be on disk and renderable.
+    dumps = sorted(glob.glob(os.path.join(FLIGHT_DIR, "flight_*.jsonl")))
+    assert dumps, f"no flight dumps in {FLIGHT_DIR}/"
+    report = subprocess.run(
+        [sys.executable, "-m", "repro", "report", dumps[0]],
+        env=env, capture_output=True, text=True,
+    )
+    assert report.returncode == 0, report.stderr
+    assert report.stdout.strip(), "flight-dump report rendered nothing"
+
+    print(
+        f"live smoke ok: {len(samples)} mid-run scrapes "
+        f"({sum(first.values())} -> {sum(last.values())} counter total), "
+        f"SLO breach exit {code}, {len(fired)} alert_fired, "
+        f"{len(dumps)} flight dumps rendered"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -105,6 +105,61 @@ def _output_args(parser: argparse.ArgumentParser) -> None:
                         help="per-layer forward/backward spans, MVM "
                              "counters and per-step timing (adds per-batch "
                              "overhead; off by default)")
+    parser.add_argument("--metrics-port", type=int, default=None,
+                        metavar="PORT",
+                        help="serve live metrics over HTTP: /metrics is "
+                             "Prometheus text exposition, /snapshot.json "
+                             "feeds `repro top` (0 = pick a free port)")
+    parser.add_argument("--alert", action="append", default=None,
+                        metavar="RULE", dest="alerts",
+                        help="SLO rule like 'serve.p99_ms < 250' or "
+                             "'faults.active_density < 0.05'; repeatable. "
+                             "A breach prints to stderr, lands in the "
+                             "trace as alert_fired and turns the exit "
+                             "code to 3")
+    parser.add_argument("--flight-dir", metavar="DIR", default=None,
+                        help="keep per-process flight recorders dumping "
+                             "recent events to DIR/flight_<pid>.jsonl for "
+                             "crash post-mortems")
+
+
+def _make_monitor(tel: Telemetry, args: argparse.Namespace):
+    """The live monitoring plane for one command (None when not asked for).
+
+    Any of ``--metrics-port``, ``--alert`` or ``--flight-dir`` switches it
+    on; the streaming aggregator itself rides along for free (workers see
+    its address in the environment and attach).
+    """
+    from repro.telemetry.live import LiveMonitor
+    from repro.telemetry.rules import parse_rules
+
+    alerts = getattr(args, "alerts", None)
+    if (args.metrics_port is None and not alerts
+            and not getattr(args, "flight_dir", None)):
+        return None
+    try:
+        rules = parse_rules(alerts)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    monitor = LiveMonitor(
+        tel,
+        metrics_port=args.metrics_port,
+        rules=rules,
+        flight_dir=getattr(args, "flight_dir", None),
+        stream=None if args.quiet else sys.stderr,
+    )
+    if monitor.http is not None and not args.quiet:
+        print(f"metrics: {monitor.http.url}/metrics "
+              f"(repro top --url {monitor.http.url})", file=sys.stderr)
+    return monitor
+
+
+def _monitor_exit(monitor, base: int = 0) -> int:
+    """Close the monitor and fold the SLO verdict into the exit code."""
+    if monitor is None:
+        return base
+    monitor.close()
+    return monitor.exit_code(base)
 
 
 def _experiment_args(parser: argparse.ArgumentParser) -> None:
@@ -198,7 +253,12 @@ def _telemetry_rows(summary: dict) -> list[list]:
 def _cmd_run(args: argparse.Namespace) -> int:
     config = _config_from(args, args.policy, args.policy_param)
     tel = _make_telemetry(args)
-    result = run_experiment(config, telemetry=tel)
+    monitor = _make_monitor(tel, args)
+    try:
+        result = run_experiment(config, telemetry=tel)
+    except BaseException:
+        _monitor_exit(monitor)
+        raise
     print(render_table(
         ["model", "dataset", "policy", "final acc", "remaps", "chip density"],
         [result.summary_row()],
@@ -218,8 +278,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
             [f"epoch {i}" for i in range(len(curve))], curve,
             title="test accuracy per epoch", vmax=1.0,
         ))
+    code = _monitor_exit(monitor)
     _finish_trace(tel, args)
-    return 0
+    return code
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
@@ -251,9 +312,12 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    import time as _time
+
     from repro.runner import ExperimentCell, results_by_key, run_experiments
 
     tel = _make_telemetry(args)
+    monitor = _make_monitor(tel, args)
     cells = [
         ExperimentCell(
             (model, policy, seed, chips),
@@ -266,6 +330,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     ]
     total = len(cells)
     done = 0
+    t_start = _time.perf_counter()
+    if monitor is not None:
+        monitor.set_gauge("sweep.total", total)
+        monitor.set_gauge("sweep.done", 0)
 
     def _progress(res) -> None:
         nonlocal done
@@ -275,22 +343,36 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             status += " (cached)"
         elif res.attempts > 1:
             status += f" (retried x{res.attempts - 1})"
+        # Throughput from completed-cell wall clock; the ETA assumes the
+        # remaining cells sustain the observed completion rate.
+        elapsed = max(_time.perf_counter() - t_start, 1e-9)
+        rate = done / elapsed
+        eta = (total - done) / rate
+        if monitor is not None:
+            monitor.set_gauge("sweep.done", done)
+            monitor.set_gauge("sweep.rate_cells_per_s", round(rate, 4))
+            monitor.set_gauge("sweep.eta_seconds", round(eta, 1))
         if not args.quiet:
             print(
                 f"  [{done:>{len(str(total))}}/{total}] {res.key}: {status} "
-                f"({res.wall_seconds:.1f}s)",
+                f"({res.wall_seconds:.1f}s) | {rate:.2f} cells/s, "
+                f"~{eta:.0f}s left",
                 file=sys.stderr,
             )
 
-    results = run_experiments(
-        cells,
-        workers=args.workers,
-        on_result=_progress,
-        telemetry=tel,
-        timeout=args.timeout,
-        retry=args.retries,
-        checkpoint=args.resume,
-    )
+    try:
+        results = run_experiments(
+            cells,
+            workers=args.workers,
+            on_result=_progress,
+            telemetry=tel,
+            timeout=args.timeout,
+            retry=args.retries,
+            checkpoint=args.resume,
+        )
+    except BaseException:
+        _monitor_exit(monitor)
+        raise
     by_key = results_by_key(results)
     rows = []
     for model in args.models:
@@ -322,8 +404,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     failures = [r for r in results if not r.ok]
     for res in failures:
         print(f"\ncell {res.key!r} failed:\n{res.error}", file=sys.stderr)
+    code = _monitor_exit(monitor, 1 if failures else 0)
     _finish_trace(tel, args)
-    return 1 if failures else 0
+    return code
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -349,10 +432,65 @@ def _cmd_report(args: argparse.Namespace) -> int:
             json.dump(report, fh, indent=2, default=str)
         print(f"report: -> {args.json}", file=sys.stderr)
     if args.chrome_trace:
-        export_chrome_trace(events, args.chrome_trace)
+        export_chrome_trace(
+            events, args.chrome_trace,
+            base_epoch=(summary or {}).get("epoch"),
+            epochs=(summary or {}).get("source_epochs"),
+        )
         print(f"chrome trace: -> {args.chrome_trace} "
               "(load in Perfetto / chrome://tracing)", file=sys.stderr)
     return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Live terminal dashboard over a running command's metrics endpoint.
+
+    Polls ``<url>/snapshot.json`` (the JSON twin of ``/metrics``) and
+    redraws in place.  A connection failure renders as "waiting" rather
+    than exiting — `repro top` is typically started before (or racing)
+    the command it watches.
+    """
+    import json
+    import time
+    import urllib.error
+    import urllib.request
+
+    from repro.telemetry.live import render_top
+
+    url = args.url.rstrip("/")
+    if "://" not in url:
+        url = f"http://{url}"
+    endpoint = f"{url}/snapshot.json"
+    interval = max(0.2, args.interval)
+    misses = 0
+    try:
+        while True:
+            try:
+                with urllib.request.urlopen(endpoint, timeout=5.0) as resp:
+                    snapshot = json.loads(resp.read().decode("utf-8"))
+                frame = render_top(snapshot)
+                misses = 0
+            except (urllib.error.URLError, OSError, ValueError) as exc:
+                misses += 1
+                if args.once or misses > args.max_misses:
+                    print(f"error: cannot reach {endpoint}: {exc}",
+                          file=sys.stderr)
+                    return 2
+                frame = f"waiting for {endpoint} ({exc})"
+            if args.once:
+                print(frame)
+                return 0
+            # Clear + home, not alt-screen: the last frame stays in the
+            # scrollback after ^C, which is what you want from a monitor.
+            sys.stdout.write("\x1b[2J\x1b[H")
+            sys.stdout.write(
+                f"repro top — {endpoint} — "
+                f"{time.strftime('%H:%M:%S')}\n\n{frame}\n"
+            )
+            sys.stdout.flush()
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 class _GracefulExit(Exception):
@@ -387,6 +525,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         chaos=args.chaos,
     )
     tel = _make_telemetry(args)
+    monitor = _make_monitor(tel, args)
     server = InferenceServer(config, serve_cfg, telemetry=tel)
     if not args.quiet:
         print(
@@ -477,8 +616,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             json.dump(payload, fh, indent=2)
         if not args.quiet:
             print(f"results: -> {args.out}", file=sys.stderr)
+    code = _monitor_exit(monitor)
     _finish_trace(tel, args)
-    return 0
+    return code
 
 
 def _cmd_overheads(args: argparse.Namespace) -> int:
@@ -646,6 +786,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--out", metavar="PATH", default=None,
                        help="write bench results JSON here")
     p_srv.set_defaults(func=_cmd_serve)
+
+    p_top = sub.add_parser(
+        "top",
+        help="live dashboard over a --metrics-port endpoint: sweep "
+             "progress + ETA, SLO alerts, latency percentiles, fleet "
+             "health, refreshing in place",
+    )
+    p_top.add_argument("--url", default="http://127.0.0.1:9090",
+                       help="metrics endpoint base URL (or host:port) of "
+                            "the run/sweep/serve being watched")
+    p_top.add_argument("--interval", type=float, default=1.0,
+                       help="refresh period in seconds")
+    p_top.add_argument("--once", action="store_true",
+                       help="print a single frame and exit (no ANSI "
+                            "clearing; for scripts and tests)")
+    p_top.add_argument("--max-misses", type=int, default=30,
+                       help="consecutive failed polls tolerated before "
+                            "giving up (the watched process may still be "
+                            "starting)")
+    p_top.set_defaults(func=_cmd_top)
 
     p_ovh = sub.add_parser("overheads", help="print hardware overheads")
     p_ovh.set_defaults(func=_cmd_overheads)

@@ -369,6 +369,9 @@ def _worker_main(rank, world, experiment, shm_name, barrier_a, barrier_b,
     # count.  A small separate sink carries worker-side dp metrics back.
     sink = Telemetry(echo=False)
     sink.profile = bool(profile)
+    from repro.telemetry.live import attach_worker_live
+
+    live = attach_worker_live(sink, f"dp-rank{rank}")
     try:
         cfg = replace(
             experiment, train=replace(experiment.train, data_parallel=0)
@@ -411,6 +414,7 @@ def _worker_main(rank, world, experiment, shm_name, barrier_a, barrier_b,
             elif cmd[0] == "hook":
                 apply_epoch_end(ctx, bist_rng, cmd[1], trainer)
             elif cmd[0] == "stop":
+                live.close()
                 conn.send(sink.snapshot())
                 return
             else:  # pragma: no cover - protocol error
@@ -426,6 +430,7 @@ def _worker_main(rank, world, experiment, shm_name, barrier_a, barrier_b,
         barrier_s.abort()
         raise
     finally:
+        live.close()  # idempotent; covers the exception exits too
         # Slot views alias shm.buf; drop them before closing the segment
         # (exported pointers keep the mapping pinned otherwise).
         comm = slots = scale_view = None  # noqa: F841

@@ -73,6 +73,7 @@ from repro.nn.data import (
 )
 from repro.runner.checkpoint import CheckpointStore, cell_fingerprint
 from repro.telemetry import Telemetry, null_telemetry
+from repro.telemetry.live import FLIGHT_ENV, attach_worker_live, flight_path
 from repro.utils.config import ExperimentConfig
 
 __all__ = [
@@ -375,6 +376,19 @@ def _chaos_spec() -> tuple[str, str, int] | None:
     return mode, match, upto
 
 
+def _flight_dump_of(pid: int | None) -> str | None:
+    """Path of a dead worker's flight-recorder dump, if one exists.
+
+    Folded into the ``cell_crashed`` event so a post-mortem is one
+    ``repro report <flight file>`` away from the crash record.
+    """
+    directory = os.environ.get(FLIGHT_ENV, "").strip()
+    if not directory or not pid:
+        return None
+    path = flight_path(directory, pid=pid)
+    return path if os.path.exists(path) else None
+
+
 def _maybe_chaos(cell: ExperimentCell, attempt: int) -> None:
     """Inject a worker fault when ``REPRO_RUNNER_CHAOS`` asks for one.
 
@@ -404,7 +418,8 @@ def _maybe_chaos(cell: ExperimentCell, attempt: int) -> None:
 # worker body
 # --------------------------------------------------------------------- #
 def _run_cell(
-    indexed: tuple[int, ExperimentCell], attempt: int = 1
+    indexed: tuple[int, ExperimentCell], attempt: int = 1,
+    tel: Telemetry | None = None,
 ) -> tuple[int, CellResult]:
     """Run one experiment, never raise."""
     index, cell = indexed
@@ -416,7 +431,13 @@ def _run_cell(
     # number is deliberately absent — a retried cell must be bit-identical
     # to a first-try success.
     np.random.seed((int(cell.config.seed) * 2654435761 + index) % (2**32))
-    tel = Telemetry(echo=False)
+    live = None
+    if tel is None:
+        # Inline (serial) path: pooled workers pass their pre-attached
+        # sink in so the streamer/flight recorder cover the whole worker
+        # lifetime, chaos window included.
+        tel = Telemetry(echo=False)
+        live = attach_worker_live(tel, f"cell-{index}")
     try:
         from repro.core.controller import run_experiment
 
@@ -424,6 +445,8 @@ def _run_cell(
         ok, error = True, None
     except Exception:
         result, ok, error = None, False, traceback.format_exc()
+    if live is not None:
+        live.close()
     return index, CellResult(
         key=cell.key,
         ok=ok,
@@ -447,10 +470,14 @@ def _worker_main(conn, index: int, cell: ExperimentCell, attempt: int,
     dispatcher through its exit sentinel.
     """
     result: CellResult
+    # The sink and its live attachments exist *before* the chaos hook so
+    # a SIGKILL'd worker has already written an initial flight dump.
+    tel = Telemetry(echo=False)
+    live = attach_worker_live(tel, f"cell-{index}")
     try:
         _init_worker(shm_specs)
         _maybe_chaos(cell, attempt)
-        _, result = _run_cell((index, cell), attempt=attempt)
+        _, result = _run_cell((index, cell), attempt=attempt, tel=tel)
     except BaseException:
         result = CellResult(
             key=cell.key,
@@ -460,8 +487,10 @@ def _worker_main(conn, index: int, cell: ExperimentCell, attempt: int,
             wall_seconds=0.0,
             worker_pid=os.getpid(),
             tags=dict(cell.tags),
+            telemetry=tel.snapshot(),
             attempts=attempt,
         )
+    live.close()
     try:
         conn.send((index, result))
         conn.close()
@@ -553,7 +582,8 @@ def _dispatch(
             tel.count("runner.cell_timeouts")
         else:
             tel.event("cell_crashed", cell=key, attempt=flight.attempt,
-                      exitcode=flight.proc.exitcode)
+                      exitcode=flight.proc.exitcode,
+                      flight=_flight_dump_of(flight.proc.pid))
             tel.count("runner.cell_crashes")
         if flight.attempt < retry.max_attempts:
             delay = retry.delay_after(flight.attempt)

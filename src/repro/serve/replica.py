@@ -231,9 +231,15 @@ def _replica_worker_main(replica_id, config, max_batch, shm_name, conn,
     _init_worker(shm_specs)
     from multiprocessing import shared_memory
 
+    from repro.telemetry.live import attach_worker_live
+
+    tel = Telemetry(echo=False)
+    live = attach_worker_live(tel, f"replica{replica_id}")
     shm = in_view = out_view = None
     try:
-        core = ReplicaCore(config, max_batch, replica_id=replica_id)
+        core = ReplicaCore(
+            config, max_batch, replica_id=replica_id, telemetry=tel
+        )
         shm = shared_memory.SharedMemory(name=shm_name)
         if shm_specs is not None:
             try:  # parent owns the segment lifecycle (see repro.nn.parallel)
@@ -262,6 +268,7 @@ def _replica_worker_main(replica_id, config, max_batch, shm_name, conn,
             elif op == "remap":
                 conn.send(("ok", core.remap()))
             elif op == "stop":
+                live.close()
                 conn.send(("snapshot", core.snapshot()))
                 return
             else:  # pragma: no cover - protocol error
@@ -272,6 +279,7 @@ def _replica_worker_main(replica_id, config, max_batch, shm_name, conn,
         traceback.print_exc()
         raise
     finally:
+        live.close()  # idempotent; covers the exception exits too
         in_view = out_view = None  # noqa: F841 - drop shm views before close
         if shm is not None:
             try:

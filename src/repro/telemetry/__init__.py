@@ -134,7 +134,19 @@ class Telemetry:
         self.spans: dict[str, dict[str, float]] = {}
         #: histogram name -> :class:`Histogram` (fed via :meth:`observe`).
         self.histograms: dict[str, Histogram] = {}
+        #: wall-clock time of the ``perf_counter`` origin.  Event ``ts``
+        #: offsets are per-process monotonic deltas; ``epoch + ts`` is the
+        #: absolute wall time of an event, which is what lets merged
+        #: multi-process traces and streamed deltas share one timeline.
+        self.epoch = time.time()
         self._t0 = time.perf_counter()
+        #: merge tag -> source sink's wall-clock epoch (populated by
+        #: :meth:`merge` from snapshots that carry one); the Chrome-trace
+        #: export uses it to align per-process tracks.
+        self.source_epochs: dict[str, float] = {}
+        #: read-only observers called with each event record as it is
+        #: emitted (the flight recorder's feed); they must never mutate.
+        self._taps: list[Any] = []
         self._next_span_id = 0
 
     # ------------------------------------------------------------------ #
@@ -150,6 +162,12 @@ class Telemetry:
             "payload": payload,
         }
         self.events.append(record)
+        if self._taps:
+            for tap in self._taps:
+                try:
+                    tap(record)
+                except Exception:  # a broken observer must not break the run
+                    pass
         if self.echo:
             body = " ".join(f"{k}={_fmt(v)}" for k, v in payload.items())
             print(f"[{record['ts']:9.3f}s] {kind:<14} {body}", file=self.stream)
@@ -222,6 +240,23 @@ class Telemetry:
                 **payload,
             )
 
+    def add_tap(self, tap: Any) -> None:
+        """Register a read-only per-event observer (``tap(record)``).
+
+        Taps fire on the emitting sink even when echo is off and no trace
+        file will be written — the flight recorder rides on this to keep
+        its bounded ring of recent events.  A tap that raises is silently
+        ignored; a tap must never mutate the record.
+        """
+        self._taps.append(tap)
+
+    def remove_tap(self, tap: Any) -> None:
+        """Unregister a previously added tap (no-op if absent)."""
+        try:
+            self._taps.remove(tap)
+        except ValueError:
+            pass
+
     # ------------------------------------------------------------------ #
     # inspection and serialisation
     # ------------------------------------------------------------------ #
@@ -261,14 +296,35 @@ class Telemetry:
                     "histogram_snapshots": {
                         k: h.snapshot() for k, h in self.histograms.items()
                     },
+                    "epoch": self.epoch,
+                    "source_epochs": {
+                        str(tag): ep for tag, ep in self.source_epochs.items()
+                    },
                 },
             }
             fh.write(json.dumps(tail, default=_json_default) + "\n")
 
     def dump_jsonl(self, path: str, summary: bool = True) -> None:
-        """Write every event as one JSON object per line (plus summary)."""
-        with open(path, "w", encoding="utf-8") as fh:
-            self.write_jsonl(fh, summary=summary)
+        """Write every event as one JSON object per line (plus summary).
+
+        Crash-safe: the trace is written to a temp file in the target
+        directory and atomically renamed into place, so a crash mid-dump
+        can never leave a half-written file shadowing a good earlier one.
+        """
+        import os
+
+        path = os.fspath(path)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                self.write_jsonl(fh, summary=summary)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
 
     # ------------------------------------------------------------------ #
     # cross-process merge
@@ -280,6 +336,7 @@ class Telemetry:
             "counters": dict(self.counters),
             "spans": {k: dict(v) for k, v in self.spans.items()},
             "histograms": {k: h.snapshot() for k, h in self.histograms.items()},
+            "epoch": self.epoch,
         }
 
     def merge(
@@ -296,6 +353,10 @@ class Telemetry:
         if not self.enabled or other is None:
             return
         snap = other.snapshot() if isinstance(other, Telemetry) else other
+        if tag is not None and snap.get("epoch") is not None:
+            # Remember the source sink's wall-clock origin so the Chrome
+            # export can align this tag's track against the parent's.
+            self.source_epochs[str(tag)] = float(snap["epoch"])
         for record in snap.get("events", ()):
             if tag is not None:
                 record = {**record, "cell": tag}

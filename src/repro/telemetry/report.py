@@ -204,6 +204,24 @@ def _fleet_section(
     }
 
 
+def _alert_timeline(events: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    """SLO alert transitions (``alert_fired`` / ``alert_resolved``)."""
+    rows = []
+    for e in events:
+        kind = e.get("kind")
+        if kind not in ("alert_fired", "alert_resolved"):
+            continue
+        p = e.get("payload", {})
+        rows.append({
+            "ts": e.get("ts"),
+            "state": "fired" if kind == "alert_fired" else "resolved",
+            "rule": p.get("rule"),
+            "value": p.get("value"),
+            "threshold": p.get("threshold"),
+        })
+    return rows
+
+
 def build_report(
     events: list[dict[str, Any]], summary: dict[str, Any] | None = None
 ) -> dict[str, Any]:
@@ -223,6 +241,7 @@ def build_report(
         "counters": summary.get("counters", {}),
         "health_timeline": _health_timeline(events),
         "remap_timeline": _remap_timeline(events),
+        "alert_timeline": _alert_timeline(events),
         "serving": _serving_section(events, summary),
         "fleet": _fleet_section(events, summary),
         "cache": _cache_stats(summary.get("counters", {})),
@@ -315,6 +334,17 @@ def render_report(report: dict[str, Any]) -> str:
                       f"(epoch {final['epoch']})",
             ))
         sections.append("\n".join(lines))
+
+    alerts = report.get("alert_timeline") or []
+    if alerts:
+        fired = sum(1 for a in alerts if a["state"] == "fired")
+        sections.append(render_table(
+            ["t (s)", "state", "rule", "observed"],
+            [[f"{a.get('ts', 0):.3f}", a["state"].upper(), a.get("rule"),
+              "-" if a.get("value") is None else f"{a['value']:.6g}"]
+             for a in alerts],
+            title=f"SLO alert timeline ({fired} fired)",
+        ))
 
     remaps = report.get("remap_timeline") or []
     if remaps:

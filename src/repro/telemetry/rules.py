@@ -1,0 +1,245 @@
+"""Declarative SLO / alert rules evaluated over live telemetry roll-ups.
+
+A rule is one line of the form ``<metric> <op> <threshold>``::
+
+    serve.p99_ms < 250
+    faults.active_density < 0.05
+    runner.retries <= 2
+    engine.cache_hit_rate >= 0.9
+
+The *metric* resolves against a :meth:`~repro.telemetry.live
+.LiveAggregator.rollup` dict, in order:
+
+1. **aliases** — friendly names for common SLOs (see :data:`ALIASES`):
+   ``serve.p99_ms`` is the ``serve.latency_seconds`` histogram's p99 in
+   milliseconds, ``runner.retries`` the ``runner.cell_retries`` counter,
+   ``engine.cache_hit_rate`` the hit fraction, ...;
+2. **counters** by exact name (``remaps``, ``runner.cells_failed``);
+3. **gauges** by exact name (``faults.active_density``,
+   ``serve.route_weight.replica0``, ``sweep.done``);
+4. **histogram quantiles** — ``<hist>.<stat>`` where stat is one of
+   ``p50/p90/p99/mean/min/max/count``, with an optional ``_ms`` suffix
+   scaling seconds to milliseconds (``serve.latency_seconds.p90`` or
+   ``train.step_seconds.p99_ms``).
+
+A rule whose metric is missing from the roll-up is *skipped* (no data is
+not a breach — a sweep with no serving plane must not fire serving
+rules).  The rule **fires** when its comparison is ``False``: the rule
+states the objective, the alert is its violation.  Transitions emit
+``alert_fired`` / ``alert_resolved`` events into the trace, print to
+stderr, and latch :attr:`RuleSet.breached` — the CLI maps that to a
+nonzero exit code so CI can gate on live SLOs.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass, field
+from typing import Any, Callable, IO
+
+__all__ = ["Rule", "RuleSet", "parse_rule", "parse_rules", "resolve_metric",
+           "ALIASES"]
+
+_OPS: dict[str, Callable[[float, float], bool]] = {
+    "<=": operator.le,
+    ">=": operator.ge,
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    ">": operator.gt,
+}
+
+#: friendly metric name -> resolver over the roll-up dict (None = absent).
+ALIASES: dict[str, Callable[[dict[str, Any]], float | None]] = {
+    "serve.p50_ms": lambda r: _hist_stat(r, "serve.latency_seconds", "p50", 1e3),
+    "serve.p90_ms": lambda r: _hist_stat(r, "serve.latency_seconds", "p90", 1e3),
+    "serve.p99_ms": lambda r: _hist_stat(r, "serve.latency_seconds", "p99", 1e3),
+    "runner.retries": lambda r: _counter(r, "runner.cell_retries"),
+    "runner.crashes": lambda r: _counter(r, "runner.cell_crashes"),
+    "runner.failed": lambda r: _counter(r, "runner.cells_failed"),
+    "serve.failed": lambda r: _counter(r, "serve.failed"),
+    "engine.cache_hit_rate": lambda r: _hit_rate(r),
+}
+
+
+def _counter(rollup: dict[str, Any], name: str) -> float:
+    """Counters default to 0: 'no retries yet' is a real measurement."""
+    return float((rollup.get("counters") or {}).get(name, 0))
+
+
+def _hist_stat(rollup: dict[str, Any], name: str, stat: str,
+               scale: float = 1.0) -> float | None:
+    h = (rollup.get("histograms") or {}).get(name)
+    if not h or not h.get("count"):
+        return None
+    value = h.get(stat)
+    return None if value is None else float(value) * scale
+
+
+def _hit_rate(rollup: dict[str, Any]) -> float | None:
+    counters = rollup.get("counters") or {}
+    hits = int(counters.get("engine.cache_hits", 0))
+    misses = int(counters.get("engine.cache_misses", 0))
+    if hits + misses == 0:
+        return None
+    return hits / (hits + misses)
+
+
+_HIST_STATS = ("p50", "p90", "p99", "mean", "min", "max", "count", "sum")
+
+
+def resolve_metric(name: str, rollup: dict[str, Any]) -> float | None:
+    """Resolve one metric name against a roll-up (None = no data yet)."""
+    alias = ALIASES.get(name)
+    if alias is not None:
+        return alias(rollup)
+    counters = rollup.get("counters") or {}
+    if name in counters:
+        return float(counters[name])
+    gauges = rollup.get("gauges") or {}
+    if name in gauges:
+        return float(gauges[name])
+    base, _, stat = name.rpartition(".")
+    if base and stat:
+        scale = 1.0
+        if stat.endswith("_ms"):
+            stat = stat[:-3]
+            scale = 1e3
+        if stat in _HIST_STATS:
+            return _hist_stat(rollup, base, stat, scale)
+    return None
+
+
+@dataclass
+class Rule:
+    """One threshold objective over a live metric."""
+
+    metric: str
+    op: str
+    threshold: float
+    #: live alert state (True while the objective is violated).
+    firing: bool = False
+    #: latched: the rule fired at least once this run.
+    fired_ever: bool = False
+    #: transition counts (for the dashboard).
+    times_fired: int = 0
+    last_value: float | None = None
+
+    @property
+    def text(self) -> str:
+        return f"{self.metric} {self.op} {self.threshold:g}"
+
+    def check(self, rollup: dict[str, Any]) -> bool | None:
+        """Objective verdict against a roll-up (None = metric absent)."""
+        value = resolve_metric(self.metric, rollup)
+        self.last_value = value
+        if value is None:
+            return None
+        return _OPS[self.op](float(value), self.threshold)
+
+
+def parse_rule(text: str) -> Rule:
+    """Parse ``<metric> <op> <threshold>`` (ops: < <= > >= == !=)."""
+    raw = text.strip()
+    for op in ("<=", ">=", "==", "!=", "<", ">"):  # two-char ops first
+        if op in raw:
+            metric, _, rhs = raw.partition(op)
+            metric = metric.strip()
+            rhs = rhs.strip()
+            if not metric or not rhs:
+                break
+            try:
+                threshold = float(rhs)
+            except ValueError:
+                raise ValueError(
+                    f"bad alert rule {text!r}: threshold {rhs!r} is not a number"
+                ) from None
+            return Rule(metric=metric, op=op, threshold=threshold)
+    raise ValueError(
+        f"bad alert rule {text!r}: want '<metric> <op> <threshold>', "
+        "e.g. 'serve.p99_ms < 250'"
+    )
+
+
+def parse_rules(texts: "list[str] | None") -> "RuleSet | None":
+    """Build a :class:`RuleSet` from rule strings (None/empty = no engine)."""
+    if not texts:
+        return None
+    return RuleSet([parse_rule(t) for t in texts])
+
+
+@dataclass
+class RuleSet:
+    """A set of rules with transition tracking and trace emission."""
+
+    rules: list[Rule] = field(default_factory=list)
+
+    @property
+    def breached(self) -> bool:
+        """True when any rule fired at least once this run."""
+        return any(r.fired_ever for r in self.rules)
+
+    def states(self) -> list[dict[str, Any]]:
+        """JSON-safe per-rule state (served on ``/snapshot.json``)."""
+        return [
+            {
+                "rule": r.text,
+                "metric": r.metric,
+                "firing": r.firing,
+                "fired": r.times_fired,
+                "value": r.last_value,
+            }
+            for r in self.rules
+        ]
+
+    def evaluate(
+        self,
+        rollup: dict[str, Any],
+        telemetry: Any = None,
+        stream: IO[str] | None = None,
+    ) -> list[Rule]:
+        """One pass over all rules; returns the rules currently firing.
+
+        On a breach transition: emit ``alert_fired`` into the sink, bump
+        ``alerts.fired``, print to ``stream``.  On recovery:
+        ``alert_resolved``.  Steady states emit nothing — the trace holds
+        the alert *timeline*, not a sample per tick.
+        """
+        firing: list[Rule] = []
+        for rule in self.rules:
+            ok = rule.check(rollup)
+            if ok is None:
+                continue  # no data: neither fire nor resolve
+            if not ok:
+                firing.append(rule)
+                if not rule.firing:
+                    rule.firing = True
+                    rule.fired_ever = True
+                    rule.times_fired += 1
+                    if telemetry is not None:
+                        telemetry.event(
+                            "alert_fired", rule=rule.text, metric=rule.metric,
+                            value=rule.last_value, threshold=rule.threshold,
+                        )
+                        telemetry.count("alerts.fired")
+                    if stream is not None:
+                        print(
+                            f"ALERT fired: {rule.text} "
+                            f"(observed {rule.last_value:.6g})",
+                            file=stream,
+                        )
+            elif rule.firing:
+                rule.firing = False
+                if telemetry is not None:
+                    telemetry.event(
+                        "alert_resolved", rule=rule.text, metric=rule.metric,
+                        value=rule.last_value, threshold=rule.threshold,
+                    )
+                    telemetry.count("alerts.resolved")
+                if stream is not None:
+                    print(
+                        f"alert resolved: {rule.text} "
+                        f"(observed {rule.last_value:.6g})",
+                        file=stream,
+                    )
+        return firing

@@ -138,9 +138,27 @@ def build_span_tree(events: list[dict[str, Any]]) -> SpanNode:
     return root
 
 
+def _cell_key(cell: Any) -> "str | None":
+    """Canonical string identity of a cell tag.
+
+    Tags merged in memory are tuples; the same tags re-read from a JSONL
+    trace arrive as (unhashable) lists.  Both must map to the identity
+    the summary's ``source_epochs`` was keyed with (``str(tuple)``), so
+    lists are normalised back to tuples before stringifying.
+    """
+    if cell is None:
+        return None
+    if isinstance(cell, (list, tuple)):
+        return str(tuple(cell))
+    return str(cell)
+
+
 def export_chrome_trace(
     events: list[dict[str, Any]],
     destination: "str | IO[str] | None" = None,
+    *,
+    epochs: dict[str, float] | None = None,
+    base_epoch: float | None = None,
 ) -> dict[str, Any]:
     """Convert telemetry events to Chrome trace-event JSON.
 
@@ -150,19 +168,35 @@ def export_chrome_trace(
     every other event to an instant ``"i"`` marker, and each distinct
     cell tag to its own named thread so merged sweeps line up as
     parallel rows in Perfetto.
+
+    ``epochs`` maps merged source tags (stringified cell keys) to the
+    wall-clock epoch of the sink that produced them, and ``base_epoch``
+    is the parent sink's own epoch — both recorded in the trace summary.
+    Each source's ``perf_counter``-relative timestamps are shifted by
+    ``epoch - base_epoch`` so the process tracks share one timeline
+    instead of all starting at 0.
     """
     cells: list[Any] = []
+    seen: set[str | None] = set()
     for e in events:
-        cell = e.get("cell")
-        if cell not in cells:
-            cells.append(cell)
-    tid_of = {cell: i for i, cell in enumerate(cells)}
+        key = _cell_key(e.get("cell"))
+        if key not in seen:
+            seen.add(key)
+            cells.append(e.get("cell"))
+    tid_of = {_cell_key(c): i for i, c in enumerate(cells)}
 
+    def offset_of(key: "str | None") -> float:
+        if base_epoch is None or key is None or not epochs:
+            return 0.0
+        epoch = epochs.get(key)
+        return 0.0 if epoch is None else float(epoch) - float(base_epoch)
+
+    offsets = {key: offset_of(key) for key in tid_of}
     trace: list[dict[str, Any]] = [
         {"ph": "M", "pid": 0, "tid": 0, "name": "process_name",
          "args": {"name": "repro"}},
     ]
-    for cell, tid in tid_of.items():
+    for cell, tid in zip(cells, tid_of.values()):
         trace.append({
             "ph": "M", "pid": 0, "tid": tid, "name": "thread_name",
             "args": {"name": "main" if cell is None else str(cell)},
@@ -170,7 +204,9 @@ def export_chrome_trace(
     for e in events:
         kind = e.get("kind")
         payload = dict(e.get("payload", {}))
-        tid = tid_of[e.get("cell")]
+        key = _cell_key(e.get("cell"))
+        tid = tid_of[key]
+        shift = offsets[key]
         if kind == "span":
             seconds = float(payload.pop("seconds", 0.0))
             start = float(payload.pop("start", e.get("ts", 0.0) - seconds))
@@ -178,7 +214,7 @@ def export_chrome_trace(
             trace.append({
                 "name": name,
                 "ph": "X",
-                "ts": round(start * 1e6, 3),
+                "ts": round((start + shift) * 1e6, 3),
                 "dur": round(seconds * 1e6, 3),
                 "pid": 0,
                 "tid": tid,
@@ -189,7 +225,7 @@ def export_chrome_trace(
                 "name": str(kind),
                 "ph": "i",
                 "s": "t",  # thread-scoped instant marker
-                "ts": round(float(e.get("ts", 0.0)) * 1e6, 3),
+                "ts": round((float(e.get("ts", 0.0)) + shift) * 1e6, 3),
                 "pid": 0,
                 "tid": tid,
                 "args": payload,

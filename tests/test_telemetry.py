@@ -289,6 +289,64 @@ class TestMerge:
         assert snap["events"][0]["kind"] == "k"
 
 
+class TestWallClockEpoch:
+    """Every sink carries a wall-clock epoch so merged multi-process
+    traces share one timeline (satellite of the live-monitoring plane)."""
+
+    def test_sink_is_epoch_stamped(self):
+        import time
+
+        before = time.time()
+        tel = Telemetry(echo=False)
+        assert before <= tel.epoch <= time.time()
+        assert tel.snapshot()["epoch"] == tel.epoch
+
+    def test_merge_records_source_epochs(self):
+        parent = Telemetry(echo=False)
+        child = Telemetry(echo=False)
+        parent.merge(child, tag=("vgg11", "none", 1))
+        assert parent.source_epochs == {
+            str(("vgg11", "none", 1)): child.epoch
+        }
+
+    def test_summary_record_carries_epochs(self, tmp_path):
+        parent = Telemetry(echo=False)
+        child = Telemetry(echo=False)
+        child.event("k")
+        parent.merge(child, tag="w")
+        path = tmp_path / "t.jsonl"
+        parent.dump_jsonl(str(path))
+        summary = json.loads(path.read_text().splitlines()[-1])["payload"]
+        assert summary["epoch"] == parent.epoch
+        assert summary["source_epochs"] == {"w": child.epoch}
+
+
+class TestAtomicDump:
+    """dump_jsonl writes through a same-directory temp file + rename, so
+    a crash mid-dump can't shadow a good earlier trace with half a file."""
+
+    def test_no_temp_residue(self, tmp_path):
+        tel = Telemetry(echo=False)
+        tel.event("k", a=1)
+        path = tmp_path / "trace.jsonl"
+        tel.dump_jsonl(str(path))
+        assert [p.name for p in tmp_path.iterdir()] == ["trace.jsonl"]
+
+    def test_failed_dump_preserves_previous_trace(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        good = Telemetry(echo=False)
+        good.event("good")
+        good.dump_jsonl(str(path))
+        before = path.read_text()
+
+        bad = Telemetry(echo=False)
+        bad.events.append(None)  # unrenderable record: dump blows up
+        with pytest.raises(TypeError):
+            bad.dump_jsonl(str(path))
+        assert path.read_text() == before  # old trace untouched
+        assert [p.name for p in tmp_path.iterdir()] == ["trace.jsonl"]
+
+
 class TestExperimentIntegration:
     """Acceptance criteria: a full run emits a valid trace and the
     aggregated counters reproduce the ExperimentResult statistics."""

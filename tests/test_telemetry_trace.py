@@ -186,3 +186,46 @@ class TestChromeExport:
         spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
         assert {e["name"] for e in spans} == {"outer", "inner"}
         json.dumps(doc)  # serialisable end to end
+
+    def test_epoch_alignment_shifts_source_tracks(self):
+        """Per-source wall-clock epochs line process tracks up on one
+        timeline instead of every track starting at its own zero."""
+        events = [
+            {"ts": 1.0, "kind": "marker", "payload": {}},  # parent track
+            {"ts": 1.0, "kind": "marker", "payload": {}, "cell": "w1"},
+        ]
+        plain = export_chrome_trace(events)
+        aligned = export_chrome_trace(
+            events, epochs={"w1": 107.5}, base_epoch=100.0
+        )
+        ts_of = lambda doc, tid: [
+            e["ts"] for e in doc["traceEvents"]
+            if e["ph"] == "i" and e["tid"] == tid
+        ]
+        assert ts_of(plain, 1) == [1.0e6]
+        assert ts_of(aligned, 1) == [pytest.approx((1.0 + 7.5) * 1e6)]
+        # the parent track never shifts; unknown sources shift by zero
+        assert ts_of(aligned, 0) == [1.0e6]
+        missing = export_chrome_trace(
+            events, epochs={"other": 1.0}, base_epoch=100.0
+        )
+        assert ts_of(missing, 1) == [1.0e6]
+
+    def test_jsonl_list_cells_key_one_track_per_cell(self):
+        """Cell tags re-read from JSONL are lists (unhashable) and must
+        map onto the same tracks as their in-memory tuple originals."""
+        events = [
+            {"ts": 0.0, "kind": "k", "payload": {}, "cell": ["vgg11", 1]},
+            {"ts": 1.0, "kind": "k", "payload": {}, "cell": ["vgg11", 1]},
+            {"ts": 2.0, "kind": "k", "payload": {}, "cell": ["vgg11", 2]},
+        ]
+        doc = export_chrome_trace(
+            events,
+            epochs={str(("vgg11", 1)): 103.0},  # summary keys: str(tuple)
+            base_epoch=100.0,
+        )
+        threads = [e for e in doc["traceEvents"]
+                   if e["ph"] == "M" and e["name"] == "thread_name"]
+        assert len(threads) == 2
+        markers = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert [m["ts"] for m in markers] == [3.0e6, 4.0e6, 2.0e6]
